@@ -1,0 +1,102 @@
+"""Secondary workload: recursion through a choice production.
+
+The hospital AIG recurses through star productions only; the file-system
+domain (see ``tests/test_recursive_choice.py``) recurses through a *choice*
+(``content -> file | dir``), which additionally exercises condition nodes,
+branch gating, and selector-preserving unfolding in the optimized pipeline.
+This bench generates balanced directory trees of growing depth and checks
+that the middleware's cost grows with depth while both evaluation paths stay
+identical.
+"""
+
+import random
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")  # reuse the fs-domain AIG definition
+
+from test_recursive_choice import FS, build_fs_aig  # noqa: E402
+
+from repro.aig import ConceptualEvaluator  # noqa: E402
+from repro.relational import DataSource, Network  # noqa: E402
+from repro.runtime import Middleware  # noqa: E402
+
+
+def generate_tree(depth: int, fanout: int = 3, seed: int = 5):
+    """A balanced directory tree of the given depth."""
+    rng = random.Random(seed)
+    rows = []
+    counter = [0]
+
+    def fill(parent: str, level: int) -> None:
+        for _ in range(fanout):
+            counter[0] += 1
+            node_id = f"n{counter[0]}"
+            if level < depth and rng.random() < 0.6:
+                rows.append((node_id, parent, f"dir{counter[0]}", "2", ""))
+                fill(node_id, level + 1)
+            else:
+                rows.append((node_id, parent, f"file{counter[0]}", "1",
+                             str(rng.randrange(1, 999))))
+
+    fill("root", 1)
+    return rows
+
+
+def load(rows) -> DataSource:
+    source = DataSource(FS)
+    source.load_rows("entries", rows)
+    return source
+
+
+_cache = {}
+
+
+def measure(depth):
+    if depth not in _cache:
+        aig = build_fs_aig(with_key=False)
+        rows = generate_tree(depth)
+        source = load(rows)
+        conceptual = ConceptualEvaluator(aig, [source]).evaluate({})
+        report = Middleware(aig, {"FS": source}, Network.mbps(1.0),
+                            unfold_depth=depth + 2,
+                            max_unfold_depth=64).evaluate({})
+        assert report.document == conceptual
+        _cache[depth] = (len(rows), report)
+    return _cache[depth]
+
+
+def test_choice_recursion_scaling(benchmark):
+    from conftest import report as write_report
+
+    def build():
+        lines = ["Choice-recursion workload (file-system export)",
+                 f"{'depth':>6s}{'entries':>9s}{'plan nodes':>11s}"
+                 f"{'response(s)':>12s}{'doc nodes':>10s}"]
+        responses = []
+        for depth in (2, 4, 6):
+            entries, report = measure(depth)
+            responses.append(report.response_time)
+            lines.append(f"{depth:6d}{entries:9d}{report.node_count:11d}"
+                         f"{report.response_time:12.2f}"
+                         f"{report.document.size():10d}")
+        return responses, "\n".join(lines)
+
+    responses, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("choice_recursion", "\n" + text)
+    assert responses[0] < responses[-1]  # deeper trees cost more
+
+
+@pytest.mark.parametrize("depth", [3])
+def test_choice_recursion_kernel(benchmark, depth):
+    aig = build_fs_aig(with_key=False)
+    rows = generate_tree(depth)
+    source = load(rows)
+
+    def run():
+        return Middleware(aig, {"FS": source}, Network.mbps(1.0),
+                          unfold_depth=depth + 2,
+                          max_unfold_depth=64).evaluate({}).response_time
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) > 0

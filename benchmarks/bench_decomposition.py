@@ -1,0 +1,113 @@
+"""Ablation C: multi-source query decomposition (Section 3.4).
+
+Compares executing σ0's multi-source Q2 via the left-deep internal-state
+chain (the paper's design, pushed to the sources) against the naive
+alternative of shipping every referenced base table to the mediator and
+joining there.  Reports plan shapes, simulated costs, and bytes shipped —
+decomposition wins because only the (small) filtered intermediates travel.
+"""
+
+import pytest
+
+from repro.compilation.decompose import decompose_query_sites
+from repro.hospital.aig_def import Q2_TEXT
+from repro.relational import Federation, Network
+from repro.relational.source import MEDIATOR_NAME
+from repro.sqlq import parse_query, plan_steps, render_sqlite
+from repro.sqlq.analyze import sources_of
+
+from conftest import dataset_for, sources_for
+
+PARAMS = {"SSN": None, "date": None, "policy": None}
+
+
+def example_binding(scale):
+    """A (SSN, date, policy) binding whose treatments are actually covered,
+    so the decomposed chain produces rows."""
+    dataset = dataset_for(scale)
+    date = dataset.busiest_date()
+    policy_of = {p[0]: p[2] for p in dataset.patient}
+    covered = set(dataset.cover)
+    for ssn, trid, visit_date in dataset.visit_info:
+        if visit_date == date and (policy_of[ssn], trid) in covered:
+            return {"SSN": ssn, "date": date, "policy": policy_of[ssn]}
+    ssn = dataset.visit_info[0][0]
+    return {"SSN": ssn, "date": date, "policy": policy_of[ssn]}
+
+
+def run_decomposed(scale, values):
+    sources = sources_for(scale)
+    shipped = 0
+    current = None
+    previous_name = None
+    for step in plan_steps(parse_query(Q2_TEXT), "Q2"):
+        source = sources[step.source]
+        bindings = {}
+        if current is not None:
+            shipped += current.width_bytes()
+            bindings[previous_name] = source.create_temp_table(
+                current.columns, current.rows)
+        sql, params = render_sqlite(step.query, scalar_values=values,
+                                    bindings=bindings)
+        current = source.execute(sql, tuple(params))
+        previous_name = step.name
+    return current, shipped
+
+
+def run_naive_mediator(scale, values):
+    """Ship all three referenced base tables to the mediator, join there."""
+    sources = sources_for(scale)
+    federation = Federation(list(sources.values()))
+    shipped = 0
+    for source_name, table in (("DB1", "visitInfo"), ("DB2", "cover"),
+                               ("DB4", "treatment")):
+        result = sources[source_name].execute(f"SELECT * FROM {table}")
+        shipped += result.width_bytes()
+    sql, params = render_sqlite(parse_query(Q2_TEXT), scalar_values=values,
+                                qualify_sources=True)
+    return federation.execute(sql, tuple(params)), shipped
+
+
+def test_decomposition_ablation(benchmark, hospital_aig):
+    from conftest import report
+    network = Network.mbps(1.0)
+
+    def build():
+        lines = ["Multi-source decomposition vs ship-everything-to-mediator",
+                 f"{'scale':>8s}{'rows':>6s}{'decomp bytes':>14s}"
+                 f"{'naive bytes':>13s}{'comm gain':>11s}"]
+        measurements = []
+        for scale in ("small", "medium", "large"):
+            values = example_binding(scale)
+            decomposed, decomposed_bytes = run_decomposed(scale, values)
+            naive, naive_bytes = run_naive_mediator(scale, values)
+            measurements.append(
+                (sorted(decomposed.rows), sorted(naive.rows),
+                 decomposed_bytes, naive_bytes))
+            gain = (network.trans_cost("DB1", MEDIATOR_NAME, naive_bytes)
+                    / max(network.trans_cost("DB1", MEDIATOR_NAME,
+                                             decomposed_bytes), 1e-9))
+            lines.append(f"{scale:>8s}{len(decomposed):6d}"
+                         f"{decomposed_bytes:14d}{naive_bytes:13d}"
+                         f"{gain:11.1f}x")
+        plans = decompose_query_sites(hospital_aig)
+        multi = {site.name: [s.source for s in steps]
+                 for site, steps in plans.items() if len(steps) > 1}
+        lines.append(f"decomposed sites: {multi}")
+        return measurements, multi, "\n".join(lines)
+
+    measurements, multi, text = benchmark.pedantic(build, rounds=1,
+                                                   iterations=1)
+    report("decomposition_ablation", "\n" + text)
+    for decomposed_rows, naive_rows, dec_bytes, naive_bytes in measurements:
+        assert decomposed_rows == naive_rows
+        assert dec_bytes < naive_bytes
+    assert multi == {"treatments.treatment:star": ["DB1", "DB2", "DB4"]}
+
+
+@pytest.mark.parametrize("scale", ["small", "large"])
+def test_decomposed_chain_timing(benchmark, scale):
+    values = example_binding(scale)
+    result = benchmark(lambda: run_decomposed(scale, values)[0])
+    assert sources_of(parse_query(Q2_TEXT)) == {"DB1", "DB2", "DB4"}
+    assert result.columns[:2] == ["trId", "tname"]

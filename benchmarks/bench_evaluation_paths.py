@@ -1,0 +1,78 @@
+"""Conceptual vs. optimized evaluation: actual wall time.
+
+The middleware exists because per-tuple evaluation issues one query per
+node context (Section 3.2's semantics: thousands of small queries at Table 1
+scale) while the optimized pipeline runs a fixed handful of set-oriented
+queries (Section 5.1).  This bench measures the real SQLite wall time of
+both paths — no simulated network — and reports the query counts; the gap
+is the classic middle-tier result the paper builds on.
+"""
+
+import time
+
+import pytest
+
+from repro.aig import ConceptualEvaluator
+from repro.relational import Network
+from repro.runtime import Middleware
+
+from conftest import dataset_for, sources_for
+
+
+def run_conceptual(hospital_aig, scale):
+    sources = sources_for(scale)
+    date = dataset_for(scale).busiest_date()
+    evaluator = ConceptualEvaluator(hospital_aig, list(sources.values()))
+    started = time.perf_counter()
+    document = evaluator.evaluate({"date": date})
+    return (time.perf_counter() - started,
+            evaluator.stats.queries_executed, document)
+
+
+def run_optimized(hospital_aig, scale):
+    sources = sources_for(scale)
+    date = dataset_for(scale).busiest_date()
+    middleware = Middleware(hospital_aig, sources, Network.mbps(1.0))
+    started = time.perf_counter()
+    report = middleware.evaluate({"date": date})
+    return time.perf_counter() - started, report.queries_executed, \
+        report.document
+
+
+def test_evaluation_paths(benchmark, hospital_aig):
+    from conftest import report
+
+    def build():
+        lines = ["Conceptual (per-tuple) vs optimized (set-oriented) "
+                 "evaluation — wall time",
+                 f"{'scale':>8s}{'conceptual':>12s}{'queries':>9s}"
+                 f"{'optimized':>11s}{'queries':>9s}{'speedup':>9s}"]
+        rows = []
+        for scale in ("tiny", "small"):
+            conc_seconds, conc_queries, conc_doc = run_conceptual(
+                hospital_aig, scale)
+            opt_seconds, opt_queries, opt_doc = run_optimized(
+                hospital_aig, scale)
+            assert conc_doc == opt_doc
+            rows.append((scale, conc_seconds, conc_queries, opt_seconds,
+                         opt_queries))
+            lines.append(f"{scale:>8s}{conc_seconds:11.2f}s"
+                         f"{conc_queries:9d}{opt_seconds:10.2f}s"
+                         f"{opt_queries:9d}"
+                         f"{conc_seconds / opt_seconds:8.1f}x")
+        return rows, "\n".join(lines)
+
+    rows, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("evaluation_paths", "\n" + text)
+    # the optimized path must issue orders of magnitude fewer queries
+    for scale, _, conc_queries, _, opt_queries in rows:
+        if scale == "small":
+            assert conc_queries > 50 * opt_queries
+
+
+@pytest.mark.parametrize("scale", ["tiny"])
+def test_conceptual_kernel(benchmark, hospital_aig, scale):
+    seconds = benchmark.pedantic(
+        lambda: run_conceptual(hospital_aig, scale)[0],
+        rounds=2, iterations=1)
+    assert seconds >= 0

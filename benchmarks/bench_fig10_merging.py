@@ -1,0 +1,91 @@
+"""Figure 10: improvement due to query merging.
+
+For every dataset size (Table 1) and DTD-unfolding level 2..7 of the
+recursive rule ``procedure -> treatment*``, evaluates the busiest day's
+report with and without Algorithm Merge and reports the ratio of simulated
+response times (query evaluation + communication at 1 Mbps, as in the
+paper).  The paper reports gains up to ~2.2x, increasing with dataset size
+and unfolding level; the shape check here is that merging always wins and
+the win grows with the unfolding level (see EXPERIMENTS.md for the measured
+grid and the magnitude discussion).
+"""
+
+import pytest
+
+from repro.relational import Network
+from repro.runtime import Middleware
+
+from conftest import dataset_for, sources_for
+
+SCALES = ["small", "medium", "large"]
+LEVELS = [2, 3, 4, 5, 6, 7]
+
+_grid_cache = {}
+
+
+def _cell(hospital_aig, scale, level):
+    key = (scale, level)
+    if key not in _grid_cache:
+        sources = sources_for(scale)
+        date = dataset_for(scale).busiest_date()
+        results = {}
+        for merging in (False, True):
+            middleware = Middleware(hospital_aig, sources, Network.mbps(1.0),
+                                    merging=merging, unfold_depth=level,
+                                    max_unfold_depth=level)
+            results[merging] = middleware._evaluate_at_depth(
+                {"date": date}, level)
+        assert results[False].document == results[True].document
+        _grid_cache[key] = (results[False].response_time,
+                            results[True].response_time)
+    return _grid_cache[key]
+
+
+def test_figure10_grid(benchmark, hospital_aig):
+    """Produce the full Fig. 10 grid (ratio no-merge / merge)."""
+    from conftest import report
+
+    def build_grid():
+        lines = ["Figure 10: ratio of evaluation time without/with "
+                 "query merging",
+                 "(simulated response at 1 Mbps; rows = unfolding level)",
+                 f"{'level':>6s}" + "".join(f"{s:>10s}" for s in SCALES)]
+        ratios = {}
+        for level in LEVELS:
+            cells = []
+            for scale in SCALES:
+                no_merge, merged = _cell(hospital_aig, scale, level)
+                ratio = no_merge / merged
+                ratios[(scale, level)] = ratio
+                cells.append(f"{ratio:10.2f}")
+            lines.append(f"{level:6d}" + "".join(cells))
+        lines.append(f"max improvement {max(ratios.values()):.2f}x "
+                     f"(paper: up to ~2.2x)")
+        return ratios, "\n".join(lines)
+
+    ratios, text = benchmark.pedantic(build_grid, rounds=1, iterations=1)
+    report("figure10_merging", "\n" + text)
+    # Shape assertions: merging never hurts, and the deepest unfolding
+    # benefits more than the shallowest at every scale.
+    for (scale, level), ratio in ratios.items():
+        assert ratio >= 0.99, f"merging hurt at {scale}/{level}: {ratio}"
+    for scale in SCALES:
+        assert ratios[(scale, LEVELS[-1])] > ratios[(scale, LEVELS[0])], \
+            f"{scale}: gain did not grow with unfolding level"
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_merged_evaluation(benchmark, hospital_aig, scale):
+    """Time one merged evaluation per scale at unfolding level 4 (wall
+    time of the actual SQLite work, not the simulated clock)."""
+    sources = sources_for(scale)
+    date = dataset_for(scale).busiest_date()
+
+    def run():
+        middleware = Middleware(hospital_aig, sources, Network.mbps(1.0),
+                                merging=True, unfold_depth=4,
+                                max_unfold_depth=16)
+        return middleware.evaluate({"date": date}).response_time
+
+    response = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert response > 0

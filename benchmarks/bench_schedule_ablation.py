@@ -1,0 +1,81 @@
+"""Ablation A: Algorithm Schedule vs. naive topological scheduling.
+
+Section 5.3 motivates ℓevel-priority list scheduling by the NP-hardness of
+optimal ordering.  This ablation compares the estimated plan cost of
+Algorithm Schedule against a plain topological order across dataset scales
+and unfolding levels (the paper argues qualitatively; we quantify).
+"""
+
+import pytest
+
+from repro.compilation import specialize
+from repro.optimizer import CostModel, build_qdg, plan_cost, schedule
+from repro.optimizer.schedule import naive_schedule
+from repro.relational import Network, StatisticsCatalog
+from repro.runtime import unfold_aig
+
+from conftest import sources_for
+
+
+def graph_for(hospital_aig, scale, level):
+    stats = StatisticsCatalog.from_sources(
+        list(sources_for(scale).values()))
+    spec = specialize(unfold_aig(hospital_aig, level), stats)
+    graph, _ = build_qdg(spec, stats)
+    return graph, stats
+
+
+def test_schedule_ablation(benchmark, hospital_aig):
+    from conftest import report
+    network = Network.mbps(1.0)
+
+    def build():
+        lines = ["Schedule vs naive topological order (estimated cost(P), s)",
+                 f"{'case':>14s}{'naive':>10s}{'Schedule':>10s}{'gain':>8s}"]
+        pairs = []
+        for scale in ("small", "large"):
+            for level in (2, 5, 7):
+                graph, stats = graph_for(hospital_aig, scale, level)
+                model = CostModel(stats)
+                estimates = model.estimate_graph(graph)
+                good = plan_cost(graph, schedule(graph, estimates, network),
+                                 estimates, network)
+                naive = plan_cost(graph, naive_schedule(graph), estimates,
+                                  network)
+                pairs.append((good, naive))
+                lines.append(f"{scale + '/' + str(level):>14s}{naive:10.2f}"
+                             f"{good:10.2f}{naive / good:8.2f}")
+        # σ0's graphs have little per-source contention, so the two orders
+        # nearly tie; synthetic DAGs with many queries per source show the
+        # ℓevel heuristic's value.
+        from bench_optimizer_scaling import random_dag
+        model = CostModel(StatisticsCatalog())
+        for n_nodes, seed in ((24, 1), (24, 2), (40, 3)):
+            graph = random_dag(n_nodes, fanin=3, seed=seed)
+            estimates = model.estimate_graph(graph)
+            good = plan_cost(graph, schedule(graph, estimates, network),
+                             estimates, network)
+            naive = plan_cost(graph, naive_schedule(graph), estimates,
+                              network)
+            pairs.append((good, naive))
+            lines.append(f"{'dag-' + str(n_nodes) + '-' + str(seed):>14s}"
+                         f"{naive:10.2f}{good:10.2f}{naive / good:8.2f}")
+        return pairs, "\n".join(lines)
+
+    pairs, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("schedule_ablation", "\n" + text)
+    # Both are heuristics; Schedule must never be meaningfully worse, and
+    # must win somewhere.
+    for good, naive in pairs:
+        assert good <= naive * 1.05
+    assert any(good < naive * 0.999 for good, naive in pairs)
+
+
+@pytest.mark.parametrize("level", [3, 7])
+def test_schedule_runtime(benchmark, hospital_aig, level):
+    graph, stats = graph_for(hospital_aig, "small", level)
+    model = CostModel(stats)
+    estimates = model.estimate_graph(graph)
+    network = Network.mbps(1.0)
+    plan = benchmark(lambda: schedule(graph, estimates, network))
+    assert sum(len(seq) for seq in plan.values()) == len(graph)

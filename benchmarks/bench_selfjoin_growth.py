@@ -1,0 +1,64 @@
+"""In-text Section 6 claim: growth of ``procedure`` self-joins.
+
+"For the Large data set, the cardinality of a 3-way self join of the
+procedure table is 4055, whereas the cardinality of a 4-way self join is
+6837."  The layered-DAG generator was calibrated against these two numbers;
+this bench measures the generated relation's n-way self-join cardinalities
+both analytically (path counting) and through SQLite, and times the joins —
+the quantity whose growth across unfolding levels drives Figure 10.
+"""
+
+import pytest
+
+from repro.datagen import generate, procedure_path_counts
+
+from conftest import sources_for
+
+PAPER = {1: 923, 3: 4055, 4: 6837}
+
+
+def selfjoin_sql(n):
+    froms = ", ".join(f"procedure p{i}" for i in range(n))
+    joins = " AND ".join(f"p{i}.trId2 = p{i + 1}.trId1"
+                         for i in range(n - 1))
+    where = f" WHERE {joins}" if n > 1 else ""
+    return f"SELECT COUNT(*) FROM {froms}{where}"
+
+
+def test_selfjoin_growth(benchmark):
+    from conftest import report
+
+    def build():
+        dataset = generate("large")
+        counts = procedure_path_counts(dataset.procedure, 6)
+        lines = ["Self-join growth of the procedure relation (Large)",
+                 f"{'n-way':>6s}{'measured':>10s}{'paper':>8s}{'rel.err':>9s}"]
+        for n, count in enumerate(counts, start=1):
+            paper = PAPER.get(n)
+            error = (f"{abs(count - paper) / paper:8.1%}" if paper
+                     else "       -")
+            lines.append(f"{n:6d}{count:10d}"
+                         f"{paper if paper else '-':>8}{error}")
+        return counts, "\n".join(lines)
+
+    counts, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("selfjoin_growth", "\n" + text)
+    assert counts[0] == 923
+    assert abs(counts[2] - 4055) / 4055 < 0.25
+    assert abs(counts[3] - 6837) / 6837 < 0.25
+
+
+def test_sql_agrees_with_path_counts():
+    dataset = generate("large")
+    source = sources_for("large")["DB4"]
+    counts = procedure_path_counts(dataset.procedure, 4)
+    for n in (2, 3, 4):
+        measured = source.execute(selfjoin_sql(n)).rows[0][0]
+        assert measured == counts[n - 1]
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_selfjoin_timing(benchmark, n):
+    source = sources_for("large")["DB4"]
+    result = benchmark(lambda: source.execute(selfjoin_sql(n)).rows[0][0])
+    assert result > 0

@@ -1,0 +1,54 @@
+"""Table 1: cardinalities of the generated datasets.
+
+Regenerates the paper's Table 1 and times dataset generation + bulk load —
+the paper's ToXgene-plus-parser step.  The printed cardinalities must match
+the paper exactly (they are generator targets, asserted here).
+"""
+
+import pytest
+
+from repro.datagen import generate, load_dataset
+from repro.hospital import make_sources
+
+TABLE1 = {
+    "small": (2500, 11371, 2224, 175, 175, 441),
+    "medium": (3300, 14887, 3762, 250, 250, 718),
+    "large": (5000, 22496, 8996, 350, 350, 923),
+}
+COLUMNS = ["patient", "visitInfo", "cover", "billing", "treatment",
+           "procedure"]
+
+
+def test_table1(benchmark):
+    """Emit the reproduced Table 1 (shape check for EXPERIMENTS.md)."""
+    from conftest import report
+
+    def build():
+        lines = ["Table 1: cardinalities of tables for different datasets",
+                 f"{'':10s}" + "".join(f"{c:>11s}" for c in COLUMNS)]
+        rows = {}
+        for scale in TABLE1:
+            cards = generate(scale).cardinalities()
+            rows[scale] = tuple(cards[c] for c in COLUMNS)
+            lines.append(f"{scale:10s}"
+                         + "".join(f"{v:11d}" for v in rows[scale]))
+        lines.append("matches the paper's Table 1 exactly "
+                     "(generator targets).")
+        return rows, "\n".join(lines)
+
+    rows, text = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("table1_datasets", "\n" + text)
+    for scale, expected in TABLE1.items():
+        assert rows[scale] == expected, \
+            f"{scale}: {rows[scale]} != paper {expected}"
+
+
+@pytest.mark.parametrize("scale", ["small", "medium", "large"])
+def test_generate_and_load(benchmark, scale):
+    """Time one generate + bulk-load cycle per scale."""
+    def run():
+        sources = make_sources()
+        load_dataset(generate(scale), sources)
+        return sources["DB1"].row_count("patient")
+    patients = benchmark(run)
+    assert patients == TABLE1[scale][0]

@@ -1,0 +1,119 @@
+"""A choice-production domain: a two-source publications catalog.
+
+Each publication is exported as either a <book> or an <article> — a
+data-driven choice production (Definition 3.1 case 3): a condition query
+inspects the publication's kind and selects the branch.  Bibliographic data
+comes from source BIB, holdings (shelf locations) from source LIB, and a
+foreign-key-style constraint pair ties every listed publication to a
+holding entry.
+
+Run:  python examples/publications_catalog.py
+"""
+
+from repro import (
+    AIG,
+    Catalog,
+    ChoiceBranch,
+    ConceptualEvaluator,
+    DataSource,
+    EvaluationAborted,
+    Middleware,
+    Network,
+    SourceSchema,
+    assign,
+    check_constraints,
+    conforms_to,
+    inh,
+    parse_dtd,
+    query,
+    relation,
+    serialize,
+)
+
+DTD_TEXT = """
+<!ELEMENT catalog (entry*)>
+<!ELEMENT entry (pid, work, shelf)>
+<!ELEMENT work (book | article)>
+<!ELEMENT book (title, isbn)>
+<!ELEMENT article (title, journal)>
+<!ELEMENT shelf (#PCDATA)>
+"""
+
+BIB = SourceSchema("BIB", (
+    relation("publication", "pid", "kind", "title", "ref"),
+))
+LIB = SourceSchema("LIB", (
+    relation("holding", "pid", "shelf"),
+))
+
+
+def build_catalog_aig() -> AIG:
+    aig = AIG(parse_dtd(DTD_TEXT), Catalog([BIB, LIB]))
+    aig.inh("entry", "pid", "kind", "title", "ref", "shelf")
+    aig.inh("work", "pid", "kind", "title", "ref")
+    aig.inh("book", "title", "ref")
+    aig.inh("article", "title", "ref")
+
+    # Multi-source iteration: bibliography x holdings.
+    aig.rule("catalog", inh={"entry": query(
+        "select p.pid, p.kind, p.title, p.ref, h.shelf "
+        "from BIB:publication p, LIB:holding h where h.pid = p.pid")})
+    aig.rule("entry", inh={
+        "pid": assign(val=inh("pid")),
+        "work": assign(pid=inh("pid"), kind=inh("kind"),
+                       title=inh("title"), ref=inh("ref")),
+        "shelf": assign(val=inh("shelf")),
+    })
+    # The choice: kind 1 -> book, kind 2 -> article.
+    aig.rule("work",
+             condition=query(
+                 "select p.kind from BIB:publication p where p.pid = $pid"),
+             branches={
+                 "book": ChoiceBranch(inh=assign(title=inh("title"),
+                                                 ref=inh("ref"))),
+                 "article": ChoiceBranch(inh=assign(title=inh("title"),
+                                                    ref=inh("ref"))),
+             })
+    aig.rule("book", inh={"title": assign(val=inh("title")),
+                          "isbn": assign(val=inh("ref"))})
+    aig.rule("article", inh={"title": assign(val=inh("title")),
+                             "journal": assign(val=inh("ref"))})
+    # Every entry's pid must be unique within the catalog.
+    aig.key("catalog", "entry", "pid")
+    return aig.validate()
+
+
+def make_sources(missing_holding: bool = False) -> dict[str, DataSource]:
+    bib = DataSource(BIB)
+    lib = DataSource(LIB)
+    bib.load_rows("publication", [
+        ("b1", "1", "a deepness in the sky", "978-0812536355"),
+        ("a1", "2", "a relational model of data", "CACM 13(6)"),
+        ("b2", "1", "the dispossessed", "978-0061054884"),
+    ])
+    holdings = [("b1", "SF-12"), ("a1", "CS-03"), ("b2", "SF-17")]
+    if missing_holding:
+        holdings = holdings[:-1]
+    lib.load_rows("holding", holdings)
+    return {"BIB": bib, "LIB": lib}
+
+
+def main() -> None:
+    aig = build_catalog_aig()
+    sources = make_sources()
+
+    conceptual = ConceptualEvaluator(aig, list(sources.values())).evaluate({})
+    report = Middleware(aig, sources, Network.mbps(1.0)).evaluate({})
+    assert report.document == conceptual
+    assert conforms_to(report.document, aig.dtd)
+    assert check_constraints(report.document, aig.constraints) == []
+    print(serialize(report.document, indent=2))
+
+    books = sum(1 for _ in report.document.iter("book"))
+    articles = sum(1 for _ in report.document.iter("article"))
+    print(f"\n{books} books, {articles} articles — branch chosen per tuple "
+          f"by the condition query; both evaluation paths identical ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Integrating an XML document alongside relational sources.
+
+The paper notes the framework "can be extended to integrate
+object-oriented, XML and other formats of data"; here the insurer's policy
+directory arrives as an XML document, is shredded into queryable relations
+(XPERANTO-style), and participates in a multi-source AIG next to a
+relational HR database — decomposition, merging, and both evaluation paths
+work unchanged.
+
+Run:  python examples/xml_source_integration.py
+"""
+
+from repro import (
+    AIG,
+    Catalog,
+    ConceptualEvaluator,
+    DataSource,
+    Middleware,
+    Network,
+    SourceSchema,
+    assign,
+    collect,
+    inh,
+    parse_dtd,
+    query,
+    relation,
+    serialize,
+    syn,
+)
+from repro.relational.xmlsource import shred_spec, xml_source
+
+POLICY_DIRECTORY_XML = """
+<policies>
+  <policy>
+    <pid>p1</pid><kind>gold</kind><deductible>250</deductible>
+    <clause><text>dental covered</text></clause>
+    <clause><text>vision covered</text></clause>
+  </policy>
+  <policy>
+    <pid>p2</pid><kind>basic</kind><deductible>1000</deductible>
+    <clause><text>emergency care only</text></clause>
+  </policy>
+</policies>
+"""
+
+DTD_TEXT = """
+<!ELEMENT roster (member*)>
+<!ELEMENT member (name, plan, deductible, clauses)>
+<!ELEMENT clauses (clause*)>
+<!ELEMENT clause (#PCDATA)>
+"""
+
+
+def build_aig() -> AIG:
+    catalog = Catalog([
+        SourceSchema("HR", (relation("employee", "eid", "name", "pid"),)),
+        SourceSchema("POL", (
+            relation("policy", "node_id:INTEGER", "parent_id:INTEGER",
+                     "pid", "kind", "deductible"),
+            relation("clause", "node_id:INTEGER", "parent_id:INTEGER",
+                     "text"),
+        )),
+    ])
+    aig = AIG(parse_dtd(DTD_TEXT), catalog)
+    aig.inh("member", "name", "kind", "deductible", "policy_node")
+    aig.inh("clauses", "policy_node")
+    aig.inh("clause", "val")
+
+    # Multi-source: employees from the relational HR DB, plan details from
+    # the shredded XML policy directory.
+    aig.rule("roster", inh={"member": query(
+        "select e.name, p.kind, p.deductible, "
+        "p.node_id as policy_node "
+        "from HR:employee e, POL:policy p where e.pid = p.pid")})
+    aig.rule("member", inh={
+        "name": assign(val=inh("name")),
+        "plan": assign(val=inh("kind")),
+        "deductible": assign(val=inh("deductible")),
+        "clauses": assign(policy_node=inh("policy_node")),
+    })
+    # The document hierarchy of the XML source survives shredding: clauses
+    # join their policy through the node/parent id columns.
+    aig.rule("clauses", inh={"clause": query(
+        "select c.text as val from POL:clause c "
+        "where c.parent_id = $policy_node")})
+    return aig.validate()
+
+
+def main() -> None:
+    hr = DataSource(SourceSchema(
+        "HR", (relation("employee", "eid", "name", "pid"),)))
+    hr.load_rows("employee", [("e1", "ann", "p1"), ("e2", "bob", "p2")])
+    policies = xml_source("POL", POLICY_DIRECTORY_XML, {
+        "policy": shred_spec("policy", ["pid", "kind", "deductible"],
+                             parent="policies"),
+        "clause": shred_spec("clause", ["text"], parent="policy"),
+    })
+    sources = {"HR": hr, "POL": policies}
+
+    aig = build_aig()
+    conceptual = ConceptualEvaluator(aig, list(sources.values())).evaluate({})
+    report = Middleware(aig, sources, Network.mbps(1.0)).evaluate({})
+    assert report.document == conceptual
+    print(serialize(report.document, indent=2))
+    print(f"\nrelational HR x XML policy directory: "
+          f"{report.node_count} plan queries, both paths identical ✓")
+
+
+if __name__ == "__main__":
+    main()

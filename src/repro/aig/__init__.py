@@ -1,0 +1,79 @@
+"""Attribute Integration Grammars — the paper's core contribution.
+
+Public surface::
+
+    from repro.aig import (
+        AIG,                      # the grammar σ : R -> D
+        assign, query,            # rule right-hand-side builders
+        inh, syn,                 # attribute references
+        union, singleton, collect, EmptyCollection,
+        ChoiceBranch,
+        ConceptualEvaluator,      # Section 3.2 semantics
+    )
+"""
+
+from repro.aig.attributes import AttrSchema, AttrValue, Rows, empty_value
+from repro.aig.functions import (
+    Assign,
+    AttrRef,
+    CollectChildren,
+    Const,
+    EmptyCollection,
+    QueryFunc,
+    SingletonSet,
+    UnionExpr,
+    assign,
+    collect,
+    inh,
+    query,
+    singleton,
+    syn,
+    union,
+)
+from repro.aig.grammar import AIG
+from repro.aig.guards import Guard, SubsetGuard, UniqueGuard
+from repro.aig.rules import (
+    ChoiceBranch,
+    ChoiceRule,
+    EmptyRule,
+    PCDataRule,
+    Rule,
+    SequenceRule,
+    StarRule,
+)
+from repro.aig.evaluator import ConceptualEvaluator, EvaluationStats
+
+__all__ = [
+    "AIG",
+    "AttrSchema",
+    "AttrValue",
+    "Rows",
+    "empty_value",
+    "Assign",
+    "AttrRef",
+    "CollectChildren",
+    "Const",
+    "EmptyCollection",
+    "QueryFunc",
+    "SingletonSet",
+    "UnionExpr",
+    "assign",
+    "collect",
+    "inh",
+    "query",
+    "singleton",
+    "syn",
+    "union",
+    "Guard",
+    "SubsetGuard",
+    "UniqueGuard",
+    "ChoiceBranch",
+    "ChoiceRule",
+    "EmptyRule",
+    "PCDataRule",
+    "Rule",
+    "SequenceRule",
+    "StarRule",
+    "ConceptualEvaluator",
+    "EvaluationStats",
+]

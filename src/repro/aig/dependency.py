@@ -1,0 +1,58 @@
+"""Per-production dependency relations (Definition 3.1).
+
+Within a production ``A -> B1,...,Bn``, child ``B`` *depends on* ``B'`` iff
+``Inh(B)`` is defined using ``Syn(B')``.  The AIG requires the transitive
+closure of this relation to be acyclic for every production, which guarantees
+a topological evaluation order for the children.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CyclicDependencyError
+from repro.aig.functions import func_refs
+from repro.aig.rules import SequenceRule
+
+
+def sequence_dependencies(rule: SequenceRule,
+                          children: list[str]) -> dict[str, set[str]]:
+    """Direct dependency edges: child -> set of siblings it depends on."""
+    child_set = set(children)
+    graph: dict[str, set[str]] = {child: set() for child in children}
+    for child in children:
+        function = rule.inh_for(child)
+        for ref in func_refs(function):
+            if ref.kind == "syn" and ref.element in child_set \
+                    and ref.element != child:
+                graph[child].add(ref.element)
+    return graph
+
+
+def topological_order(graph: dict[str, set[str]], children: list[str],
+                      production_name: str) -> list[str]:
+    """Order children so each follows everything it depends on.
+
+    Ties are broken by production order, so evaluation is deterministic.
+    Raises :class:`CyclicDependencyError` if the relation is cyclic.
+    """
+    position = {child: index for index, child in enumerate(children)}
+    remaining = set(children)
+    ordered: list[str] = []
+    while remaining:
+        ready = [child for child in remaining
+                 if not (graph[child] & remaining)]
+        if not ready:
+            cycle = sorted(remaining, key=position.get)
+            raise CyclicDependencyError(
+                f"production {production_name!r}: cyclic dependency among "
+                f"children {cycle}")
+        chosen = min(ready, key=position.get)
+        ordered.append(chosen)
+        remaining.discard(chosen)
+    return ordered
+
+
+def check_acyclic(rule: SequenceRule, children: list[str],
+                  production_name: str) -> list[str]:
+    """Validate acyclicity and return the evaluation order."""
+    graph = sequence_dependencies(rule, children)
+    return topological_order(graph, children, production_name)

@@ -1,0 +1,386 @@
+"""Conceptual evaluation of AIGs (Section 3.2).
+
+The evaluator realizes the paper's semantics directly: a depth-first,
+one-sweep derivation in which each node's inherited attribute is computed
+first, then its subtree, and finally its synthesized attribute.  Children of
+a sequence production are evaluated in a topological order of the
+production's dependency relation (the paper's reverse-topological stack push
+order); star productions create one child per tuple of the iteration query;
+choice productions run the condition query to select a branch; guards (from
+constraint compilation) are checked as soon as the relevant synthesized
+attribute is known, aborting the derivation on violation.
+
+The recursion here *is* the paper's evaluation stack.  Multi-source queries
+execute directly over a :class:`~repro.relational.source.Federation` — the
+conceptual semantics does not care where tables live.  (The optimized
+pipeline in :mod:`repro.runtime` never does this; it runs decomposed
+single-source queries at the individual sources, which is what the
+cross-path equality tests exercise.)
+
+Determinism: the children of a star node appear in the canonical order of
+their inherited tuples (sorted, None-first), and both evaluation paths use
+the same ordering, so generated documents are comparable node-for-node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationAborted, EvaluationError
+from repro.dtd.model import Choice, Empty, PCDATA, Sequence, Star
+from repro.relational.source import DataSource, Federation
+from repro.xmlmodel.node import XMLElement, XMLText
+from repro.aig.attributes import AttrSchema, AttrValue, Rows, empty_value
+from repro.aig.functions import (
+    Assign,
+    AttrRef,
+    CollectChildren,
+    Const,
+    EmptyCollection,
+    QueryFunc,
+    SingletonSet,
+    UnionExpr,
+)
+from repro.aig.grammar import AIG
+from repro.aig.rules import (
+    ChoiceRule,
+    EmptyRule,
+    PCDataRule,
+    SequenceRule,
+    StarRule,
+)
+from repro.sqlq.analyze import scalar_params, set_params
+from repro.sqlq.render import render_sqlite
+
+
+class EvaluationStats:
+    """Counters collected during one evaluation (used by tests/benches)."""
+
+    def __init__(self):
+        self.queries_executed = 0
+        self.nodes_created = 0
+        self.guards_checked = 0
+        self.max_depth = 0
+
+    def __repr__(self) -> str:
+        return (f"EvaluationStats(queries={self.queries_executed}, "
+                f"nodes={self.nodes_created}, guards={self.guards_checked})")
+
+
+class ConceptualEvaluator:
+    """Evaluates ``σ(I, v)``: given the sources and a root inherited value,
+    produces an XML tree conforming to the AIG's DTD."""
+
+    def __init__(self, aig: AIG, sources: list[DataSource],
+                 max_depth: int = 500, violation_mode: str = "abort"):
+        aig.validate()
+        if violation_mode not in ("abort", "report"):
+            raise EvaluationError(
+                f"violation_mode must be 'abort' or 'report', "
+                f"got {violation_mode!r}")
+        self.aig = aig
+        self.federation = Federation(sources)
+        self.max_depth = max_depth
+        #: "abort" (the paper's semantics: a failed guard terminates the
+        #: derivation without success) or "report" (finish the document and
+        #: collect the violated constraints in ``violations`` — the hook the
+        #: paper leaves for constraint repairing [19]).
+        self.violation_mode = violation_mode
+        self.violations: list = []
+        self.stats = EvaluationStats()
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, root_inh: dict | None = None) -> XMLElement:
+        """Run the derivation; returns the document root.
+
+        Raises :class:`EvaluationAborted` when a guard fails (constraint
+        violation) and :class:`EvaluationError` on other failures.
+        """
+        self.stats = EvaluationStats()
+        self.violations = []
+        root_type = self.aig.dtd.root
+        root_schema = self.aig.inh_schema(root_type)
+        inh_value = empty_value(root_schema)
+        inh_value.update(root_inh or {})
+        missing = [m for m in root_schema.scalars if inh_value.get(m) is None]
+        if missing:
+            raise EvaluationError(
+                f"root inherited attribute is missing members {missing}")
+        root = XMLElement(root_type)
+        self.stats.nodes_created += 1
+        self._eval_node(root, root_type, inh_value, depth=0)
+        self._erase_internal_states(root)
+        return root
+
+    # ------------------------------------------------------------------
+    # node evaluation (one production application)
+    # ------------------------------------------------------------------
+    def _eval_node(self, node: XMLElement, element_type: str,
+                   inh_value: AttrValue, depth: int) -> AttrValue:
+        if depth > self.max_depth:
+            raise EvaluationError(
+                f"derivation exceeded maximum depth {self.max_depth} at "
+                f"{element_type!r} (runaway recursive DTD?)")
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        model = self.aig.dtd.production(element_type)
+        rule = self.aig.rule_for(element_type)
+
+        if isinstance(model, PCDATA):
+            assert isinstance(rule, PCDataRule)
+            value = self._eval_scalar(rule.text.expr("__text__"),
+                                      inh_value, {})
+            node.append(XMLText("" if value is None else str(value)))
+            self.stats.nodes_created += 1
+            syn_value = self._eval_assign(
+                rule.syn, self.aig.syn_schema(element_type), inh_value, {},
+                None, allow_inh=True)
+
+        elif isinstance(model, Empty):
+            assert isinstance(rule, EmptyRule)
+            syn_value = self._eval_assign(
+                rule.syn, self.aig.syn_schema(element_type), inh_value, {},
+                None, allow_inh=True)
+
+        elif isinstance(model, Star):
+            assert isinstance(rule, StarRule)
+            child_type = model.item.value
+            rows = self._run_query(rule.child_query, inh_value, {})
+            child_schema = self.aig.inh_schema(child_type)
+            star_syn: list[AttrValue] = []
+            for row in rows:
+                child_inh = self._tuple_to_inh(rows.fields, row, child_schema)
+                child = XMLElement(child_type)
+                node.append(child)
+                self.stats.nodes_created += 1
+                star_syn.append(self._eval_node(child, child_type, child_inh,
+                                                depth + 1))
+            syn_value = self._eval_assign(
+                rule.syn, self.aig.syn_schema(element_type), inh_value, {},
+                star_syn)
+
+        elif isinstance(model, Choice):
+            assert isinstance(rule, ChoiceRule)
+            syn_value = self._eval_choice(node, element_type, model, rule,
+                                          inh_value, depth)
+
+        else:
+            assert isinstance(model, Sequence) and isinstance(rule,
+                                                              SequenceRule)
+            children = [item.value for item in model.items]
+            nodes: dict[str, XMLElement] = {}
+            for child_type in children:
+                child = XMLElement(child_type)
+                node.append(child)
+                self.stats.nodes_created += 1
+                nodes[child_type] = child
+            child_syn: dict[str, AttrValue] = {}
+            for child_type in self.aig.evaluation_order(element_type):
+                child_inh = self._eval_inh(rule.inh_for(child_type),
+                                           child_type, inh_value, child_syn)
+                child_syn[child_type] = self._eval_node(
+                    nodes[child_type], child_type, child_inh, depth + 1)
+            syn_value = self._eval_assign(
+                rule.syn, self.aig.syn_schema(element_type), inh_value,
+                child_syn, None)
+
+        self._check_guards(element_type, syn_value, node)
+        return syn_value
+
+    def _eval_choice(self, node, element_type, model, rule, inh_value,
+                     depth) -> AttrValue:
+        alternatives = rule.selector_targets(
+            [item.value for item in model.items])
+        rows = self._run_query(rule.condition, inh_value, {})
+        if not len(rows):
+            raise EvaluationError(
+                f"condition query of {element_type!r} returned no value")
+        selector = rows.rows[0][0]
+        try:
+            index = int(selector)
+        except (TypeError, ValueError):
+            raise EvaluationError(
+                f"condition query of {element_type!r} returned non-integer "
+                f"{selector!r}") from None
+        if not 1 <= index <= len(alternatives):
+            raise EvaluationError(
+                f"condition query of {element_type!r} returned {index}, "
+                f"outside [1, {len(alternatives)}]")
+        chosen = alternatives[index - 1]
+        if chosen is None:
+            from repro.errors import RecursionTruncated
+            raise RecursionTruncated(
+                f"condition query of {element_type!r} selected an "
+                f"alternative truncated by recursion unfolding; increase "
+                f"the unfold depth")
+        branch = rule.branch_for(chosen)
+        child_inh = self._eval_inh(branch.inh, chosen, inh_value, {})
+        child = XMLElement(chosen)
+        node.append(child)
+        self.stats.nodes_created += 1
+        child_syn = self._eval_node(child, chosen, child_inh, depth + 1)
+        return self._eval_assign(
+            branch.syn, self.aig.syn_schema(element_type), inh_value,
+            {chosen: child_syn}, None)
+
+    # ------------------------------------------------------------------
+    # rule right-hand sides
+    # ------------------------------------------------------------------
+    def _eval_inh(self, function, child_type: str, inh_value: AttrValue,
+                  sibling_syn: dict[str, AttrValue]) -> AttrValue:
+        target_schema = self.aig.inh_schema(child_type)
+        if isinstance(function, Assign):
+            return self._eval_assign(function, target_schema, inh_value,
+                                     sibling_syn, None)
+        assert isinstance(function, QueryFunc)
+        rows = self._run_query(function, inh_value, sibling_syn)
+        # Type checking guarantees a single collection member.
+        member = (list(target_schema.sets) + list(target_schema.bags))[0]
+        value = empty_value(target_schema)
+        fields = target_schema.collection_fields(member)
+        reordered = self._reorder(rows, fields,
+                                  distinct=not target_schema.is_bag(member))
+        value[member] = reordered
+        return value
+
+    def _tuple_to_inh(self, fields, row, schema: AttrSchema) -> AttrValue:
+        value = empty_value(schema)
+        for field_name, field_value in zip(fields, row):
+            value[field_name] = field_value
+        return value
+
+    def _eval_assign(self, assignment: Assign, target: AttrSchema,
+                     inh_value: AttrValue,
+                     child_syn: dict[str, AttrValue],
+                     star_syn: list[AttrValue] | None,
+                     allow_inh: bool = False) -> AttrValue:
+        result = empty_value(target)
+        for member, expression in assignment.items:
+            if target.is_scalar(member):
+                result[member] = self._eval_scalar(expression, inh_value,
+                                                   child_syn)
+            else:
+                fields = target.collection_fields(member)
+                distinct = not target.is_bag(member)
+                result[member] = self._eval_collection(
+                    expression, fields, distinct, inh_value, child_syn,
+                    star_syn)
+        return result
+
+    def _eval_scalar(self, expression, inh_value: AttrValue,
+                     child_syn: dict[str, AttrValue]):
+        if isinstance(expression, Const):
+            return expression.value
+        assert isinstance(expression, AttrRef)
+        if expression.kind == "inh":
+            return inh_value.get(expression.member)
+        source = child_syn.get(expression.element)
+        if source is None:
+            return None
+        return source.get(expression.member)
+
+    def _eval_collection(self, expression, fields, distinct,
+                         inh_value, child_syn, star_syn) -> Rows:
+        if isinstance(expression, AttrRef):
+            if expression.kind == "inh":
+                rows = inh_value.get(expression.member)
+            else:
+                source = child_syn.get(expression.element)
+                rows = None if source is None else source.get(expression.member)
+            if rows is None:
+                return Rows.empty(fields, distinct)
+            assert isinstance(rows, Rows)
+            return Rows(fields, rows.rows, distinct)
+        if isinstance(expression, SingletonSet):
+            row = tuple(self._eval_scalar(item, inh_value, child_syn)
+                        for _, item in expression.items)
+            return Rows(fields, [row], distinct)
+        if isinstance(expression, CollectChildren):
+            collected: list[tuple] = []
+            for child_value in star_syn or []:
+                rows = child_value.get(expression.member)
+                if isinstance(rows, Rows):
+                    collected.extend(rows.rows)
+            return Rows(fields, collected, distinct)
+        if isinstance(expression, EmptyCollection):
+            return Rows.empty(fields, distinct)
+        assert isinstance(expression, UnionExpr)
+        combined: list[tuple] = []
+        for argument in expression.args:
+            part = self._eval_collection(argument, fields, distinct,
+                                         inh_value, child_syn, star_syn)
+            combined.extend(part.rows)
+        return Rows(fields, combined, distinct)
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def _run_query(self, function: QueryFunc, inh_value: AttrValue,
+                   sibling_syn: dict[str, AttrValue]) -> Rows:
+        """Execute a (possibly multi-source) query on the federation."""
+        scalar_values: dict[str, object] = {}
+        bindings: dict[str, str] = {}
+        for param in sorted(scalar_params(function.query)):
+            ref = function.binding_for(param)
+            scalar_values[param] = self._lookup(ref, inh_value, sibling_syn)
+        for param in sorted(set_params(function.query)):
+            ref = function.binding_for(param)
+            rows = self._lookup(ref, inh_value, sibling_syn)
+            if not isinstance(rows, Rows):
+                raise EvaluationError(
+                    f"set parameter ${param} is bound to a scalar value")
+            self._temp_counter += 1
+            table = f"__param_{self._temp_counter}"
+            self.federation.create_temp_table(list(rows.fields), rows.rows,
+                                              table)
+            bindings[f"${param}"] = table
+        sql, parameters = render_sqlite(function.query, scalar_values,
+                                        bindings, qualify_sources=True)
+        result = self.federation.execute(sql, tuple(parameters))
+        self.stats.queries_executed += 1
+        return Rows(tuple(result.columns), result.rows,
+                    distinct=False).sorted()
+
+    def _lookup(self, ref: AttrRef, inh_value: AttrValue,
+                sibling_syn: dict[str, AttrValue]):
+        if ref.kind == "inh":
+            return inh_value.get(ref.member)
+        source = sibling_syn.get(ref.element)
+        if source is None:
+            raise EvaluationError(
+                f"{ref} referenced before {ref.element!r} was evaluated "
+                f"(dependency order violation)")
+        return source.get(ref.member)
+
+    def _reorder(self, rows: Rows, fields: tuple[str, ...],
+                 distinct: bool) -> Rows:
+        """Reorder query-output columns to the target member's field order."""
+        indexes = [rows.fields.index(f) for f in fields]
+        return Rows(fields, [tuple(row[i] for i in indexes)
+                             for row in rows.rows], distinct)
+
+    # ------------------------------------------------------------------
+    # guards and internal states
+    # ------------------------------------------------------------------
+    def _check_guards(self, element_type: str, syn_value: AttrValue,
+                      node: XMLElement) -> None:
+        for guard in self.aig.guards.get(element_type, []):
+            self.stats.guards_checked += 1
+            if not guard.holds(syn_value):
+                if self.violation_mode == "abort":
+                    raise EvaluationAborted([guard.constraint])
+                self.violations.append(guard.constraint)
+
+    def _erase_internal_states(self, root: XMLElement) -> None:
+        """Remove internal-state nodes (Section 3.4) from the result."""
+        if not self.aig.internal_states:
+            return
+        changed = True
+        while changed:
+            changed = False
+            for node in list(root.iter()):
+                for child in list(node.children):
+                    if (isinstance(child, XMLElement)
+                            and child.tag in self.aig.internal_states):
+                        node.replace_with_children(child)
+                        changed = True

@@ -1,0 +1,248 @@
+"""Right-hand sides of semantic rules: the ``f`` and ``g`` functions.
+
+Section 3.1 defines two function families::
+
+    g(Inh(A), Syn(B~))   ::= (x1,...,xk) | {x} | ⊔x | x1 ∪ ... ∪ xk
+    f(Inh(A), Syn(B~i))  ::= (x1,...,xk) | Q(x1,...,xk)
+
+Here both are expression trees over :class:`AttrRef` leaves:
+
+* :class:`AttrRef` — a member of ``Inh(A)`` (``inh("date")``) or of a
+  sibling's/child's synthesized attribute (``syn("treatments", "trIdS")``).
+* :class:`Const` — a string constant.
+* :class:`TupleExpr` — the tuple constructor ``(x1,...,xk)``; builds a
+  record assigning each target member one source expression.
+* :class:`SingletonSet` — ``{x}``: a one-tuple set.
+* :class:`UnionExpr` — ``x1 ∪ ... ∪ xk`` over collection-valued operands.
+* :class:`CollectChildren` — ``⊔ x``: union of a member over all children of
+  a star production.
+* :class:`EmptyCollection` — the empty set/bag (used by compiled constraint
+  rules at leaf element types).
+* :class:`QueryFunc` — ``Q(x1,...,xk)``: an SQL query whose ``$params`` are
+  bound from attribute members.
+
+Rules pair these with target members; see :mod:`repro.aig.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+from repro.sqlq.ast import Query
+from repro.sqlq.parser import parse_query
+
+
+# ----------------------------------------------------------------------
+# leaves
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to an attribute member.
+
+    ``kind`` is ``"inh"`` (a member of the production head's inherited
+    attribute) or ``"syn"`` (a member of ``Syn(element)`` for a child /
+    sibling element type ``element``).
+    """
+
+    kind: str
+    element: str | None
+    member: str
+
+    def __post_init__(self):
+        if self.kind not in ("inh", "syn"):
+            raise SpecError(f"AttrRef kind must be inh/syn, got {self.kind!r}")
+        if self.kind == "syn" and not self.element:
+            raise SpecError("syn reference requires an element type")
+
+    def __str__(self) -> str:
+        if self.kind == "inh":
+            return f"Inh.{self.member}"
+        return f"Syn({self.element}).{self.member}"
+
+
+def inh(member: str) -> AttrRef:
+    """``Inh(A).member`` of the production head ``A``."""
+    return AttrRef("inh", None, member)
+
+
+def syn(element: str, member: str) -> AttrRef:
+    """``Syn(element).member`` of a child or sibling element type."""
+    return AttrRef("syn", element, member)
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant scalar."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+ScalarExpr = AttrRef | Const
+
+
+# ----------------------------------------------------------------------
+# collection expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SingletonSet:
+    """``{(x1,...,xk)}`` — a one-tuple collection.
+
+    ``items`` maps the collection's component fields to scalar expressions.
+    """
+
+    items: tuple[tuple[str, ScalarExpr], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}={expr}" for name, expr in self.items)
+        return "{(" + inner + ")}"
+
+
+def singleton(**items: ScalarExpr) -> SingletonSet:
+    return SingletonSet(tuple(items.items()))
+
+
+@dataclass(frozen=True)
+class CollectChildren:
+    """``⊔`` over the children of a star production: union of
+    ``Syn(child).member`` across all created children."""
+
+    child: str
+    member: str
+
+    def __str__(self) -> str:
+        return f"⊔ Syn({self.child}).{self.member}"
+
+
+def collect(child: str, member: str) -> CollectChildren:
+    return CollectChildren(child, member)
+
+
+@dataclass(frozen=True)
+class EmptyCollection:
+    """The empty set/bag with the target member's fields."""
+
+    def __str__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    """``x1 ∪ ... ∪ xk`` (or bag union, decided by the target member)."""
+
+    args: tuple["CollectionExpr", ...]
+
+    def __post_init__(self):
+        if not self.args:
+            raise SpecError("union requires at least one operand")
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(a) for a in self.args)
+
+
+CollectionExpr = (AttrRef | SingletonSet | CollectChildren | EmptyCollection
+                  | UnionExpr)
+
+
+def union(*args: CollectionExpr) -> UnionExpr:
+    return UnionExpr(tuple(args))
+
+
+#: Any rule right-hand-side expression assignable to a member.
+MemberExpr = ScalarExpr | CollectionExpr
+
+
+# ----------------------------------------------------------------------
+# assignments and queries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Assign:
+    """The tuple constructor ``f/g = (x1,...,xk)`` as a named record:
+    one expression per target member."""
+
+    items: tuple[tuple[str, MemberExpr], ...]
+
+    def members(self) -> list[str]:
+        return [name for name, _ in self.items]
+
+    def expr(self, member: str) -> MemberExpr:
+        for name, expression in self.items:
+            if name == member:
+                return expression
+        raise SpecError(f"assignment has no member {member!r}")
+
+    def __str__(self) -> str:
+        return ", ".join(f".{name} = {expr}" for name, expr in self.items)
+
+
+def assign(**items: MemberExpr) -> Assign:
+    """``assign(val=inh("SSN"), trIdS=syn("treatments", "trIdS"))``."""
+    return Assign(tuple(items.items()))
+
+
+@dataclass(frozen=True)
+class QueryFunc:
+    """``Q(x1,...,xk)`` — a (possibly multi-source) SQL query.
+
+    ``$name`` parameters default to ``Inh(A).name``; ``bindings`` overrides
+    that, e.g. ``{"trIdS": syn("treatments", "trIdS")}`` for set-valued
+    inputs or sibling synthesized attributes.  The query's output columns are
+    matched positionally to the target members (for a tuple-valued
+    assignment) or to the target set member's component fields (for an
+    iteration / set-valued assignment).
+    """
+
+    query: Query
+    bindings: tuple[tuple[str, AttrRef], ...] = ()
+
+    def binding_for(self, param: str) -> AttrRef:
+        for name, ref in self.bindings:
+            if name == param:
+                return ref
+        return inh(param)
+
+    def __str__(self) -> str:
+        return f"Q[{self.query}]"
+
+
+def query(text_or_ast: str | Query, **bindings: AttrRef) -> QueryFunc:
+    """Build a :class:`QueryFunc` from query text (or an AST)."""
+    parsed = (parse_query(text_or_ast) if isinstance(text_or_ast, str)
+              else text_or_ast)
+    return QueryFunc(parsed, tuple(bindings.items()))
+
+
+InhFunc = Assign | QueryFunc
+SynFunc = Assign
+
+
+def scalar_refs(expression: MemberExpr) -> list[AttrRef]:
+    """All attribute references inside an expression (for dependencies)."""
+    if isinstance(expression, AttrRef):
+        return [expression]
+    if isinstance(expression, Const):
+        return []
+    if isinstance(expression, SingletonSet):
+        return [ref for _, item in expression.items
+                for ref in scalar_refs(item)]
+    if isinstance(expression, CollectChildren):
+        return []
+    if isinstance(expression, EmptyCollection):
+        return []
+    if isinstance(expression, UnionExpr):
+        return [ref for arg in expression.args for ref in scalar_refs(arg)]
+    raise SpecError(f"unknown expression {expression!r}")
+
+
+def func_refs(function: InhFunc | SynFunc) -> list[AttrRef]:
+    """All attribute references a rule right-hand side consumes."""
+    if isinstance(function, Assign):
+        return [ref for _, expression in function.items
+                for ref in scalar_refs(expression)]
+    assert isinstance(function, QueryFunc)
+    from repro.sqlq.analyze import scalar_params, set_params
+    names = scalar_params(function.query) | set_params(function.query)
+    return [function.binding_for(name) for name in sorted(names)]

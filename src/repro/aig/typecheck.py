@@ -1,0 +1,261 @@
+"""Static type-compatibility checking (Section 3.1).
+
+"Type compatibility is required: the type of Syn(A) must match that of g …
+Similarly for Inh(Bi) and f; in particular, Inh(Bi) is of a set type iff f is
+defined with a query.  It is easy to verify that type compatibility can be
+checked statically in linear time."  This module is that check: one pass over
+every rule, each expression visited once.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCompatibilityError
+from repro.dtd.analysis import reachable_types
+from repro.dtd.model import Choice, Empty, PCDATA, Sequence, Star
+from repro.aig.attributes import AttrSchema
+from repro.aig.functions import (
+    Assign,
+    AttrRef,
+    CollectChildren,
+    Const,
+    EmptyCollection,
+    QueryFunc,
+    SingletonSet,
+    UnionExpr,
+)
+from repro.aig.rules import (
+    ChoiceRule,
+    EmptyRule,
+    PCDataRule,
+    SequenceRule,
+    StarRule,
+)
+from repro.sqlq.analyze import scalar_params, set_params
+
+
+class _Context:
+    """What a rule's expressions may reference, and with what types."""
+
+    def __init__(self, aig, owner: str, siblings: list[str],
+                 star_child: str | None = None,
+                 allow_inh_in_syn: bool = False):
+        self.aig = aig
+        self.owner = owner
+        self.siblings = siblings
+        self.star_child = star_child
+        self.allow_inh_in_syn = allow_inh_in_syn
+
+    def fail(self, message: str):
+        raise TypeCompatibilityError(f"in rule for {self.owner!r}: {message}")
+
+    def schema_of(self, ref: AttrRef, in_syn_rule: bool) -> AttrSchema:
+        if ref.kind == "inh":
+            if in_syn_rule and not self.allow_inh_in_syn:
+                self.fail(
+                    f"{ref} used in a synthesized rule: Syn(A) may only be "
+                    f"defined from Inh(A) in S/epsilon productions")
+            return self.aig.inh_schema(self.owner)
+        allowed = set(self.siblings)
+        if self.star_child:
+            allowed.add(self.star_child)
+        if ref.element not in allowed:
+            self.fail(f"{ref} references an element that is not a child of "
+                      f"this production")
+        return self.aig.syn_schema(ref.element)
+
+
+def _check_scalar(expr, context: _Context, in_syn: bool) -> None:
+    if isinstance(expr, Const):
+        return
+    if not isinstance(expr, AttrRef):
+        context.fail(f"expected a scalar expression, got {expr}")
+    schema = context.schema_of(expr, in_syn)
+    if not schema.has(expr.member):
+        context.fail(f"{expr}: member not declared")
+    if not schema.is_scalar(expr.member):
+        context.fail(f"{expr}: a collection member used as a scalar")
+
+
+def _check_collection(expr, fields: tuple[str, ...], context: _Context,
+                      in_syn: bool) -> None:
+    if isinstance(expr, AttrRef):
+        schema = context.schema_of(expr, in_syn)
+        if not schema.has(expr.member):
+            context.fail(f"{expr}: member not declared")
+        if not schema.is_collection(expr.member):
+            context.fail(f"{expr}: a scalar member used as a collection")
+        if schema.collection_fields(expr.member) != fields:
+            context.fail(
+                f"{expr}: fields {schema.collection_fields(expr.member)} "
+                f"do not match target fields {fields}")
+    elif isinstance(expr, SingletonSet):
+        if tuple(name for name, _ in expr.items) != fields:
+            context.fail(
+                f"singleton fields {[n for n, _ in expr.items]} do not "
+                f"match target fields {fields}")
+        for _, item in expr.items:
+            _check_scalar(item, context, in_syn)
+    elif isinstance(expr, CollectChildren):
+        if context.star_child is None:
+            context.fail("⊔ (collect) is only valid in a star production")
+        if expr.child != context.star_child:
+            context.fail(f"collect references {expr.child!r}, but the star "
+                         f"child is {context.star_child!r}")
+        child_schema = context.aig.syn_schema(expr.child)
+        if not child_schema.is_collection(expr.member):
+            context.fail(f"collect target Syn({expr.child}).{expr.member} "
+                         f"must be a collection member")
+        if child_schema.collection_fields(expr.member) != fields:
+            context.fail(f"collect fields mismatch for {expr}")
+    elif isinstance(expr, EmptyCollection):
+        return
+    elif isinstance(expr, UnionExpr):
+        for arg in expr.args:
+            _check_collection(arg, fields, context, in_syn)
+    else:
+        context.fail(f"expected a collection expression, got {expr}")
+
+
+def _check_assign_to(assignment: Assign, target: AttrSchema,
+                     context: _Context, in_syn: bool, what: str) -> None:
+    for member, expr in assignment.items:
+        if not target.has(member):
+            context.fail(f"{what} assigns undeclared member {member!r}")
+        if target.is_scalar(member):
+            _check_scalar(expr, context, in_syn)
+        else:
+            _check_collection(expr, target.collection_fields(member),
+                              context, in_syn)
+
+
+def _check_query_params(function: QueryFunc, context: _Context) -> None:
+    for param in sorted(scalar_params(function.query)):
+        ref = function.binding_for(param)
+        schema = context.schema_of(ref, in_syn_rule=False)
+        if not schema.has(ref.member):
+            context.fail(f"query parameter ${param} binds to undeclared "
+                         f"{ref}")
+        if not schema.is_scalar(ref.member):
+            context.fail(f"query parameter ${param} binds to collection "
+                         f"{ref}; use it as a set parameter instead")
+    for param in sorted(set_params(function.query)):
+        ref = function.binding_for(param)
+        schema = context.schema_of(ref, in_syn_rule=False)
+        if not schema.has(ref.member):
+            context.fail(f"set parameter ${param} binds to undeclared {ref}")
+        if not schema.is_collection(ref.member):
+            context.fail(f"set parameter ${param} binds to scalar {ref}")
+
+
+def _check_inh_function(function, child: str, context: _Context) -> None:
+    target = context.aig.inh_schema(child)
+    if isinstance(function, Assign):
+        _check_assign_to(function, target, context, in_syn=False,
+                         what=f"Inh({child})")
+        return
+    assert isinstance(function, QueryFunc)
+    _check_query_params(function, context)
+    collections = list(target.sets) + list(target.bags)
+    if len(collections) != 1 or target.scalars:
+        context.fail(
+            f"Inh({child}) is computed by a query, so it must consist of "
+            f"exactly one set member (Definition 3.1: Inh(Bi) is of a set "
+            f"type iff f is defined with a query)")
+    fields = target.collection_fields(collections[0])
+    outputs = tuple(function.query.output_names)
+    if set(outputs) != set(fields):
+        context.fail(
+            f"Inh({child}): query outputs {outputs} do not match set member "
+            f"fields {fields}")
+
+
+def _check_star_query(function: QueryFunc, child: str,
+                      context: _Context) -> None:
+    _check_query_params(function, context)
+    target = context.aig.inh_schema(child)
+    if target.sets or target.bags:
+        context.fail(
+            f"star child {child!r} carries one tuple per iteration; its "
+            f"inherited attribute must be all scalars")
+    outputs = set(function.query.output_names)
+    expected = set(target.scalars)
+    if outputs != expected:
+        context.fail(
+            f"Inh({child}): query outputs {sorted(outputs)} do not match "
+            f"inherited scalars {sorted(expected)}")
+
+
+def typecheck_aig(aig) -> None:
+    """Check every reachable production's rule; linear in the AIG size."""
+    for element_type in sorted(reachable_types(aig.dtd)):
+        model = aig.dtd.production(element_type)
+        rule = aig.rule_for(element_type)
+        syn_target = aig.syn_schema(element_type)
+
+        if isinstance(model, PCDATA):
+            assert isinstance(rule, PCDataRule)
+            context = _Context(aig, element_type, [], allow_inh_in_syn=True)
+            _check_scalar(rule.text.expr("__text__"), context, in_syn=False)
+            _check_assign_to(rule.syn, syn_target, context, in_syn=True,
+                             what=f"Syn({element_type})")
+        elif isinstance(model, Empty):
+            assert isinstance(rule, EmptyRule)
+            context = _Context(aig, element_type, [], allow_inh_in_syn=True)
+            _check_assign_to(rule.syn, syn_target, context, in_syn=True,
+                             what=f"Syn({element_type})")
+        elif isinstance(model, Star):
+            assert isinstance(rule, StarRule)
+            child = model.item.value
+            context = _Context(aig, element_type, [], star_child=child)
+            _check_star_query(rule.child_query, child, context)
+            _check_assign_to(rule.syn, syn_target, context, in_syn=True,
+                             what=f"Syn({element_type})")
+        elif isinstance(model, Choice):
+            assert isinstance(rule, ChoiceRule)
+            _check_query_params(rule.condition,
+                                _Context(aig, element_type, []))
+            if len(rule.condition.query.output_names) != 1:
+                raise TypeCompatibilityError(
+                    f"in rule for {element_type!r}: the condition query must "
+                    f"output exactly one column")
+            for name, branch in rule.branches:
+                # Per case (3), each branch may use only Inh(A) for fi and
+                # only Syn(Bi) for gi.
+                branch_context = _Context(aig, element_type, [name])
+                _check_inh_function(branch.inh, name, branch_context)
+                _check_assign_to(branch.syn, syn_target, branch_context,
+                                 in_syn=True, what=f"Syn({element_type})")
+        else:
+            assert isinstance(model, Sequence)
+            assert isinstance(rule, SequenceRule)
+            children = [item.value for item in model.items]
+            if len(set(children)) != len(children):
+                _check_repeated_children(aig, element_type, rule, children)
+            context = _Context(aig, element_type, children)
+            for name, function in rule.inh:
+                _check_inh_function(function, name, context)
+            _check_assign_to(rule.syn, syn_target, context, in_syn=True,
+                             what=f"Syn({element_type})")
+
+
+def _check_repeated_children(aig, element_type, rule, children) -> None:
+    """A sequence with repeated child types shares one rule per type and
+    must not reference the repeated type's Syn (which occurrence?)."""
+    from collections import Counter
+    from repro.aig.functions import func_refs
+    repeated = {name for name, count in Counter(children).items() if count > 1}
+    for name, function in rule.inh:
+        for ref in func_refs(function):
+            if ref.kind == "syn" and ref.element in repeated:
+                raise TypeCompatibilityError(
+                    f"in rule for {element_type!r}: Syn({ref.element}) is "
+                    f"ambiguous because {ref.element!r} occurs more than "
+                    f"once in the production")
+    for _, expr in rule.syn.items:
+        from repro.aig.functions import scalar_refs
+        for ref in scalar_refs(expr):
+            if ref.kind == "syn" and ref.element in repeated:
+                raise TypeCompatibilityError(
+                    f"in rule for {element_type!r}: Syn({ref.element}) is "
+                    f"ambiguous because {ref.element!r} occurs more than "
+                    f"once in the production")

@@ -1,0 +1,35 @@
+"""Static analyses of AIGs (Section 4).
+
+For AIGs *without constraints and defined with conjunctive queries* the
+paper proves termination and reachability decidable (by symbolic execution
+down to a fixed depth), and notes the problems become undecidable with
+arbitrary SQL or with key/inclusion constraints.  This package implements
+the decidable analyses:
+
+* :func:`must_terminate` / :func:`may_diverge` — does every / some instance
+  yield a finite derivation?
+* :func:`can_reach` / :func:`must_reach` — can/must an element type appear
+  in some/every generated document?
+* :func:`classify_rules` — the CSR/QSR classification used by copy
+  elimination.
+"""
+
+from repro.analysis.termination import (
+    must_terminate,
+    may_diverge,
+    can_terminate,
+    divergent_cycles,
+)
+from repro.analysis.reachability import can_reach, must_reach
+from repro.analysis.rules_classify import classify_rules, is_copy_rule
+
+__all__ = [
+    "must_terminate",
+    "may_diverge",
+    "can_terminate",
+    "divergent_cycles",
+    "can_reach",
+    "must_reach",
+    "classify_rules",
+    "is_copy_rule",
+]

@@ -1,0 +1,115 @@
+"""Element-type reachability (Section 4).
+
+"Given an AIG σ as above and an element type E in the DTD of σ, one can
+decide whether E can be reached, and whether E must be reached on any
+instance."
+
+* ``can_reach(σ, E)`` — is there an instance and input on which some
+  generated document contains an ``E`` element?  True iff a DTD path from
+  the root to ``E`` exists on which every data-driven gate (star iteration
+  query, choice condition + branch) is satisfiable, checked by symbolic
+  execution with constant propagation along the path.
+* ``must_reach(σ, E)`` — does *every* generated document contain an ``E``?
+  Star children may be absent (empty query result) and a choice may pick a
+  different branch, so only sequence edges — and choice edges through which
+  *every* alternative leads to ``E`` — count.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.dtd.model import Choice, Empty, PCDATA, Sequence, Star
+from repro.aig.functions import QueryFunc
+from repro.aig.grammar import AIG
+from repro.aig.rules import ChoiceRule, SequenceRule, StarRule
+from repro.analysis.satisfiability import is_satisfiable, output_constants
+
+
+def _check_supported(aig: AIG) -> None:
+    if aig.constraints or aig.guards:
+        raise SpecError(
+            "reachability analysis is undecidable with constraints "
+            "(Section 4); analyze the constraint-free AIG")
+
+
+def can_reach(aig: AIG, element_type: str) -> bool:
+    """Can some instance produce an ``element_type`` element?"""
+    _check_supported(aig)
+    if element_type not in aig.dtd:
+        raise SpecError(f"unknown element type {element_type!r}")
+    # DFS from the root, propagating forced constants through the queries
+    # that gate each edge; a type is reachable once any path's gates are all
+    # satisfiable.
+    visited: set[tuple[str, tuple]] = set()
+
+    def search(current: str, constants: dict[str, object],
+               depth: int) -> bool:
+        if current == element_type:
+            return True
+        if depth > 2 * len(aig.dtd.productions):
+            return False
+        state = (current, tuple(sorted(constants.items())))
+        if state in visited:
+            return False
+        visited.add(state)
+        model = aig.dtd.production(current)
+        rule = aig.rule_for(current)
+        if isinstance(model, (PCDATA, Empty)):
+            return False
+        if isinstance(model, Star):
+            assert isinstance(rule, StarRule)
+            if not is_satisfiable(rule.child_query.query, constants):
+                return False
+            forced = output_constants(rule.child_query.query, constants)
+            return search(model.item.value, forced, depth + 1)
+        if isinstance(model, Choice):
+            assert isinstance(rule, ChoiceRule)
+            if not is_satisfiable(rule.condition.query, constants):
+                return False
+            return any(search(item.value, {}, depth + 1)
+                       for item in model.items)
+        assert isinstance(model, Sequence)
+        assert isinstance(rule, SequenceRule)
+        for item in model.items:
+            function = rule.inh_for(item.value)
+            child_constants: dict[str, object] = {}
+            if isinstance(function, QueryFunc):
+                if not is_satisfiable(function.query, constants):
+                    continue
+                child_constants = output_constants(function.query, constants)
+            if search(item.value, child_constants, depth + 1):
+                return True
+        return False
+
+    return search(aig.dtd.root, {}, 0)
+
+
+def must_reach(aig: AIG, element_type: str) -> bool:
+    """Does every generated document contain an ``element_type`` element?"""
+    _check_supported(aig)
+    if element_type not in aig.dtd:
+        raise SpecError(f"unknown element type {element_type!r}")
+
+    cache: dict[str, bool] = {}
+    in_progress: set[str] = set()
+
+    def always(current: str) -> bool:
+        if current == element_type:
+            return True
+        if current in cache:
+            return cache[current]
+        if current in in_progress:
+            return False  # a cycle cannot *guarantee* reaching E
+        in_progress.add(current)
+        model = aig.dtd.production(current)
+        if isinstance(model, Sequence):
+            result = any(always(item.value) for item in model.items)
+        elif isinstance(model, Choice):
+            result = all(always(item.value) for item in model.items)
+        else:
+            result = False  # star children may be absent; leaves end paths
+        in_progress.discard(current)
+        cache[current] = result
+        return result
+
+    return always(aig.dtd.root)

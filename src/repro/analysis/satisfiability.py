@@ -1,0 +1,129 @@
+"""Conjunctive-query satisfiability under equality propagation.
+
+The decidable Section 4 analyses reduce to the question "can this
+conjunctive query return a tuple on *some* instance?".  For queries built
+from equality/comparison predicates over columns, parameters and constants,
+a query is satisfiable iff propagating all equalities never forces two
+distinct constants together (inequality predicates are always satisfiable
+over an unconstrained instance, and set-parameter memberships are assumed
+satisfiable since the analysis may choose the instance *and* the run that
+populates the set).
+"""
+
+from __future__ import annotations
+
+from repro.sqlq.ast import (
+    ColumnRef,
+    Comparison,
+    InSet,
+    Literal,
+    Param,
+    Query,
+)
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict = {}
+        self.constant: dict = {}
+
+    def find(self, term):
+        self.parent.setdefault(term, term)
+        root = term
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[term] != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def union(self, left, right) -> bool:
+        """Merge; returns False on constant conflict."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return True
+        constant_left = self.constant.get(root_left)
+        constant_right = self.constant.get(root_right)
+        if (constant_left is not None and constant_right is not None
+                and constant_left != constant_right):
+            return False
+        self.parent[root_left] = root_right
+        if constant_left is not None:
+            self.constant[root_right] = constant_left
+        return True
+
+    def assign_constant(self, term, value) -> bool:
+        root = self.find(term)
+        existing = self.constant.get(root)
+        if existing is not None and existing != value:
+            return False
+        self.constant[root] = value
+        return True
+
+    def constant_of(self, term):
+        return self.constant.get(self.find(term))
+
+
+def _term(expression, uf: _UnionFind):
+    if isinstance(expression, ColumnRef):
+        return ("col", expression.table, expression.column)
+    if isinstance(expression, Param):
+        return ("param", expression.name)
+    assert isinstance(expression, Literal)
+    token = ("const", repr(expression.value))
+    uf.assign_constant(token, expression.value)
+    return token
+
+
+def is_satisfiable(query: Query,
+                   param_constants: dict[str, object] | None = None) -> bool:
+    """Can the query return a tuple on some instance?
+
+    ``param_constants`` optionally pins parameters to known constants
+    (propagated from enclosing context during symbolic execution).
+    """
+    uf = _UnionFind()
+    for name, value in (param_constants or {}).items():
+        uf.assign_constant(("param", name), value)
+    for predicate in query.where:
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            left = _term(predicate.left, uf)
+            right = _term(predicate.right, uf)
+            if not uf.union(left, right):
+                return False
+        elif isinstance(predicate, Comparison) and predicate.op == "<>":
+            left = _term(predicate.left, uf)
+            right = _term(predicate.right, uf)
+            left_const = uf.constant_of(left)
+            right_const = uf.constant_of(right)
+            if (left_const is not None and left_const == right_const
+                    and uf.find(left) == uf.find(right)):
+                return False
+        # <, >, <=, >= and IN are satisfiable over a free instance.
+    return True
+
+
+def output_constants(query: Query,
+                     param_constants: dict[str, object] | None = None
+                     ) -> dict[str, object]:
+    """Output columns forced to a constant by the query's equalities.
+
+    Used by symbolic execution: if a cycle's query forces an output to 'a'
+    while its own parameter must be 'b', the composition is unsatisfiable.
+    """
+    uf = _UnionFind()
+    for name, value in (param_constants or {}).items():
+        uf.assign_constant(("param", name), value)
+    for predicate in query.where:
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            if not uf.union(_term(predicate.left, uf),
+                            _term(predicate.right, uf)):
+                return {}
+    result: dict[str, object] = {}
+    for item in query.select:
+        if isinstance(item.expr, Literal):
+            result[item.alias] = item.expr.value
+        elif isinstance(item.expr, (ColumnRef, Param)):
+            value = uf.constant_of(_term(item.expr, uf))
+            if value is not None:
+                result[item.alias] = value
+    return result

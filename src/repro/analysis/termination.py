@@ -1,0 +1,143 @@
+"""Termination analysis (Section 4).
+
+"Given an AIG σ without constraints and defined with conjunctive queries,
+one can decide whether σ will necessarily terminate on all instances [and]
+whether σ will terminate on some instances.  All of the above are proved by
+symbolic execution of σ ... even in the case of recursive DTDs, one need
+only simulate execution down to a fixed depth to detect non-termination."
+
+Implementation.  A derivation can only be infinite through a recursive DTD
+cycle whose iteration queries keep producing tuples.  For conjunctive
+(equality-only) queries over unconstrained instances, the adversary choosing
+the instance can sustain the cycle iff the *composition* of the cycle's
+queries is satisfiable when its constant constraints are propagated around
+the cycle once per element (a pumping argument: after |cycle| satisfiable
+rounds with consistent constants, the canonical instance can be made cyclic
+and the derivation runs forever).  Symbolic execution therefore simulates
+each cycle to that fixed depth, propagating forced constants; a
+contradiction at any round means the cycle always dies out.
+
+``must_terminate(σ)`` holds iff no recursive cycle is self-sustaining;
+``can_terminate(σ)`` is always true for constraint-free AIGs (the empty
+instance yields a finite — root-only-expansion — derivation), and is
+reported accordingly; the interesting dual, ``may_diverge``, names the
+sustaining cycles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.dtd.analysis import element_graph, reachable_types, recursive_types
+from repro.dtd.model import Choice, Sequence, Star
+from repro.aig.functions import QueryFunc
+from repro.aig.grammar import AIG
+from repro.aig.rules import ChoiceRule, SequenceRule, StarRule
+from repro.analysis.satisfiability import is_satisfiable, output_constants
+
+
+def _check_conjunctive(aig: AIG) -> None:
+    if aig.constraints or aig.guards:
+        raise SpecError(
+            "termination analysis is undecidable with constraints "
+            "(Section 4); analyze the constraint-free AIG")
+
+
+def _cycle_queries(aig: AIG, cycle: list[str]) -> list[QueryFunc]:
+    """The iteration/selection queries applied around one cycle."""
+    queries: list[QueryFunc] = []
+    for element_type in cycle:
+        rule = aig.rule_for(element_type)
+        if isinstance(rule, StarRule):
+            queries.append(rule.child_query)
+        elif isinstance(rule, SequenceRule):
+            for _, function in rule.inh:
+                if isinstance(function, QueryFunc):
+                    queries.append(function)
+        elif isinstance(rule, ChoiceRule):
+            queries.append(rule.condition)
+            for _, branch in rule.branches:
+                if isinstance(branch.inh, QueryFunc):
+                    queries.append(branch.inh)
+    return queries
+
+
+def _find_cycles(aig: AIG) -> list[list[str]]:
+    """Elementary cycles within recursive SCCs (bounded enumeration)."""
+    recursive = recursive_types(aig.dtd) & reachable_types(aig.dtd)
+    graph = {t: sorted(element_graph(aig.dtd)[t] & recursive)
+             for t in recursive}
+    cycles: list[list[str]] = []
+    seen: set[tuple[str, ...]] = set()
+
+    def walk(start: str, node: str, path: list[str]) -> None:
+        for successor in graph[node]:
+            if successor == start:
+                canonical = min(tuple(path[i:] + path[:i])
+                                for i in range(len(path)))
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(list(canonical))
+            elif successor not in path and successor > start:
+                walk(start, successor, path + [successor])
+
+    for start in sorted(graph):
+        walk(start, start, [start])
+    return cycles
+
+
+def _cycle_sustainable(aig: AIG, cycle: list[str]) -> bool:
+    """Symbolic execution of one cycle to the fixed pumping depth."""
+    queries = _cycle_queries(aig, cycle)
+    if not queries:
+        return True  # a cycle with no data-driven gate never stops
+    rounds = len(queries) + 1
+    constants: dict[str, object] = {}
+    for _ in range(rounds):
+        for function in queries:
+            if not is_satisfiable(function.query, constants):
+                return False
+            # Outputs forced to constants feed the next round's parameters
+            # (output names coincide with inherited members, which default
+            # to like-named $params downstream).
+            constants = output_constants(function.query, constants)
+    return True
+
+
+def divergent_cycles(aig: AIG) -> list[list[str]]:
+    """The recursive cycles an adversarial instance can sustain forever."""
+    _check_conjunctive(aig)
+    return [cycle for cycle in _find_cycles(aig)
+            if _cycle_sustainable(aig, cycle)]
+
+
+def must_terminate(aig: AIG) -> bool:
+    """Does σ terminate on *every* instance?"""
+    return not divergent_cycles(aig)
+
+
+def may_diverge(aig: AIG) -> bool:
+    """Is there an instance on which σ does not terminate?"""
+    return bool(divergent_cycles(aig))
+
+
+def can_terminate(aig: AIG) -> bool:
+    """Does σ terminate on *some* instance?
+
+    For constraint-free AIGs the empty instance makes every iteration query
+    return no tuples, so the derivation is finite whenever the root's
+    non-recursive skeleton is (which the DTD guarantees unless a sequence
+    cycle exists — rejected at unfolding time anyway).  A sequence-only
+    recursive cycle (no star/choice to truncate) diverges on every instance.
+    """
+    _check_conjunctive(aig)
+    from repro.dtd.analysis import _truncatable_edges, recursive_types
+    recursive = recursive_types(aig.dtd) & reachable_types(aig.dtd)
+    if not recursive:
+        return True
+    truncatable = _truncatable_edges(aig.dtd, recursive)
+    # every reachable cycle must contain at least one truncatable edge
+    for cycle in _find_cycles(aig):
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        if not any(edge in truncatable for edge in edges):
+            return False
+    return True

@@ -1,0 +1,38 @@
+"""Pre-processing of AIGs into specialized AIGs (Sections 3.3, 3.4, 4).
+
+* :mod:`repro.compilation.constraint_compile` — XML keys/inclusion
+  constraints become synthesized bag/set members with ``unique``/``subset``
+  guards, enforced during generation.
+* :mod:`repro.compilation.occurrences` — the occurrence tree of a
+  non-recursive AIG, plus copy-chain resolution (Section 4's copy
+  elimination) and symbolic expansion of synthesized collections; the
+  analyses the optimizer's query-dependency-graph construction is built on.
+* :mod:`repro.compilation.decompose` — multi-source queries become chains of
+  single-source internal states via left-deep plans.
+* :mod:`repro.compilation.specialize` — the driver that applies all of the
+  above, yielding a specialized AIG.
+"""
+
+from repro.compilation.constraint_compile import compile_constraints
+from repro.compilation.occurrences import (
+    Occurrence,
+    OccurrenceTree,
+    RootValue,
+    TableColumn,
+    ConstValue,
+    Extraction,
+)
+from repro.compilation.decompose import decompose_query_sites
+from repro.compilation.specialize import specialize
+
+__all__ = [
+    "compile_constraints",
+    "Occurrence",
+    "OccurrenceTree",
+    "RootValue",
+    "TableColumn",
+    "ConstValue",
+    "Extraction",
+    "decompose_query_sites",
+    "specialize",
+]

@@ -1,0 +1,284 @@
+"""Constraint compilation (Section 3.3, Fig. 3).
+
+Each key ``C(A.l -> A)`` adds a *bag* member to the synthesized attribute of
+every element type that can contain an ``A`` in its subtree: at ``A`` it
+holds the ``l`` value (plus any nested ``A``s below), elsewhere it collects
+the members of the relevant children; at ``C`` a ``unique`` guard checks it.
+Each inclusion constraint ``C(B.lB ⊆ A.lA)`` adds two *set* members (the
+``B.lB`` values and the ``A.lA`` values below) and a ``subset`` guard at
+``C``.  Evaluation aborts as soon as any guard fails.
+
+The relevance pruning the paper describes as a static simplification
+("Syn(patient).B can be rewritten to Syn(bill).B") is applied directly: a
+member is only added to types from which the watched type is reachable, and
+union right-hand sides mention only children that can actually contribute.
+
+Element types are matched by :func:`repro.dtd.analysis.base_name`, so the
+same constraints compile correctly into recursion-unfolded AIGs (where
+``treatment`` exists as copies ``treatment#0``, ``treatment#1``, ...).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.dtd.analysis import base_name, element_graph, reachable_types
+from repro.dtd.model import Choice, Empty, PCDATA, Sequence, Star
+from repro.aig.attributes import AttrSchema
+from repro.aig.functions import (
+    CollectChildren,
+    EmptyCollection,
+    SingletonSet,
+    UnionExpr,
+    syn as syn_ref,
+)
+from repro.aig.grammar import AIG
+from repro.aig.guards import SubsetGuard, UniqueGuard
+from repro.aig.rules import (
+    ChoiceBranch,
+    ChoiceRule,
+    EmptyRule,
+    PCDataRule,
+    SequenceRule,
+    StarRule,
+)
+from repro.constraints.model import Constraint, InclusionConstraint, Key
+
+
+def compile_constraints(aig: AIG) -> AIG:
+    """Return a clone of ``aig`` with constraints compiled into guards.
+
+    The clone's constraint list is preserved (for reporting); the new
+    synthesized members are reserved names ``__c<i>``/``__c<i>b``.
+    """
+    compiled = aig.clone()
+    for index, constraint in enumerate(aig.constraints):
+        if isinstance(constraint, Key):
+            _compile_key(compiled, constraint, f"__c{index}")
+        else:
+            assert isinstance(constraint, InclusionConstraint)
+            _compile_inclusion(compiled, constraint, f"__c{index}")
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+def _types_matching(aig: AIG, original_name: str) -> set[str]:
+    """Element types of the (possibly unfolded) DTD matching a base name."""
+    return {t for t in reachable_types(aig.dtd)
+            if base_name(t) == original_name}
+
+
+def _relevant_types(aig: AIG, watched: set[str]) -> set[str]:
+    """Types from which some watched type is reachable (inclusive)."""
+    graph = element_graph(aig.dtd)
+    relevant = set(watched)
+    changed = True
+    while changed:
+        changed = False
+        for element_type, successors in graph.items():
+            if element_type not in relevant and successors & relevant:
+                relevant.add(element_type)
+                changed = True
+    return relevant & reachable_types(aig.dtd)
+
+
+def _add_member(aig: AIG, element_type: str, member: str,
+                fields: tuple[str, ...], bag: bool) -> None:
+    schema = aig.syn_schema(element_type)
+    addition = (AttrSchema(bags={member: fields}) if bag
+                else AttrSchema(sets={member: fields}))
+    aig.syn_schemas[element_type] = schema.merged_with(addition)
+
+
+def _value_expr(aig: AIG, element_type: str, field_types: list[str],
+                constraint: Constraint) -> SingletonSet:
+    """``{(f1 value, ..., fk value)}`` — the watched element's own field
+    tuple contribution (components named positionally so both sides of an
+    inclusion constraint align)."""
+    items = []
+    for index, field_type in enumerate(field_types):
+        field_syn = aig.syn_schema(field_type)
+        if not field_syn.is_scalar("val"):
+            raise CompilationError(
+                f"cannot compile {constraint}: field type {field_type!r} "
+                f"has no scalar Syn member 'val'")
+        items.append((f"v{index}", syn_ref(field_type, "val")))
+    return SingletonSet(tuple(items))
+
+
+def _add_collection_member(aig: AIG, member: str, watched_base: str,
+                           field_bases: tuple[str, ...], bag: bool,
+                           constraint: Constraint) -> set[str]:
+    """Add ``member`` to every relevant type with collection rules.
+
+    ``watched_base``/``field_bases`` are the constraint's original type
+    names; returns the set of relevant types (for guard placement checks).
+    """
+    watched = _types_matching(aig, watched_base)
+    if not watched:
+        raise CompilationError(
+            f"cannot compile {constraint}: no element type matches "
+            f"{watched_base!r}")
+    relevant = _relevant_types(aig, watched)
+    fields = tuple(f"v{i}" for i in range(len(field_bases)))
+    for element_type in sorted(relevant):
+        _add_member(aig, element_type, member, fields, bag)
+    for element_type in sorted(relevant):
+        _extend_rule(aig, element_type, member, watched, field_bases,
+                     relevant, constraint)
+    return relevant
+
+
+def _extend_rule(aig: AIG, element_type: str, member: str, watched: set[str],
+                 field_bases: tuple[str, ...], relevant: set[str],
+                 constraint: Constraint) -> None:
+    model = aig.dtd.production(element_type)
+    rule = aig.rule_for(element_type)
+    contributions = []
+    field_types: list[str] | None = None
+
+    if element_type in watched:
+        if isinstance(model, Star):
+            raise CompilationError(
+                f"cannot compile {constraint}: {element_type!r} has a star "
+                f"production, so {field_bases} are not unique subelements")
+        field_types = [_field_type_of(aig, element_type, base, constraint)
+                       for base in field_bases]
+        if not isinstance(model, Choice):
+            contributions.append(_value_expr(aig, element_type, field_types,
+                                             constraint))
+
+    if isinstance(model, Sequence):
+        for item in model.items:
+            if item.value in relevant:
+                contributions.append(syn_ref(item.value, member))
+        expr = (UnionExpr(tuple(contributions)) if contributions
+                else EmptyCollection())
+        assert isinstance(rule, SequenceRule)
+        new_rule = SequenceRule(rule.inh, _extend_assign(rule.syn, member,
+                                                         expr))
+    elif isinstance(model, Star):
+        if model.item.value in relevant:
+            contributions.append(CollectChildren(model.item.value, member))
+        expr = (UnionExpr(tuple(contributions)) if contributions
+                else EmptyCollection())
+        assert isinstance(rule, StarRule)
+        new_rule = StarRule(rule.child_query,
+                            _extend_assign(rule.syn, member, expr))
+    elif isinstance(model, Choice):
+        assert isinstance(rule, ChoiceRule)
+        branches = []
+        for name, branch in rule.branches:
+            branch_contribs = list(contributions)
+            if field_types is not None and name in field_types:
+                if len(field_types) > 1:
+                    raise CompilationError(
+                        f"cannot compile {constraint}: composite fields "
+                        f"under a choice production are not supported")
+                branch_contribs.append(_value_expr(aig, element_type,
+                                                   field_types, constraint))
+            if name in relevant:
+                branch_contribs.append(syn_ref(name, member))
+            expr = (UnionExpr(tuple(branch_contribs)) if branch_contribs
+                    else EmptyCollection())
+            branches.append((name, ChoiceBranch(
+                branch.inh, _extend_assign(branch.syn, member, expr))))
+        new_rule = ChoiceRule(rule.condition, tuple(branches))
+    elif isinstance(model, PCDATA):
+        assert isinstance(rule, PCDataRule)
+        expr = (UnionExpr(tuple(contributions)) if contributions
+                else EmptyCollection())
+        new_rule = PCDataRule(rule.text,
+                              _extend_assign(rule.syn, member, expr))
+    else:
+        assert isinstance(model, Empty)
+        assert isinstance(rule, EmptyRule)
+        expr = (UnionExpr(tuple(contributions)) if contributions
+                else EmptyCollection())
+        new_rule = EmptyRule(_extend_assign(rule.syn, member, expr))
+    aig.rules[element_type] = new_rule
+
+
+def _extend_assign(assignment, member, expr):
+    from repro.aig.functions import Assign
+    return Assign(assignment.items + ((member, expr),))
+
+
+def _field_type_of(aig: AIG, element_type: str, field_base: str,
+                   constraint: Constraint) -> str:
+    """The concrete child type of ``element_type`` matching ``field_base``."""
+    for name in aig.dtd.production(element_type).names():
+        if base_name(name) == field_base:
+            return name
+    raise CompilationError(
+        f"cannot compile {constraint}: {element_type!r} has no "
+        f"{field_base!r} child")
+
+
+def _place_guards(aig: AIG, context_base: str, relevant: set[str],
+                  make_guard) -> None:
+    contexts = _types_matching(aig, context_base)
+    for context_type in sorted(contexts):
+        if context_type in relevant:
+            aig.add_guard(context_type, make_guard(context_type))
+
+
+# ----------------------------------------------------------------------
+# the two constraint forms
+# ----------------------------------------------------------------------
+def _compile_key(aig: AIG, key: Key, prefix: str) -> None:
+    member = f"{prefix}_key"
+    relevant = _add_collection_member(aig, member, key.target, key.fields,
+                                      bag=True, constraint=key)
+    _place_guards(aig, key.context, relevant,
+                  lambda ct: UniqueGuard(ct, member, key))
+
+
+def _compile_inclusion(aig: AIG, ic: InclusionConstraint, prefix: str) -> None:
+    source_member = f"{prefix}_src"
+    target_member = f"{prefix}_tgt"
+    source_relevant = _add_collection_member(
+        aig, source_member, ic.source, ic.source_fields, bag=False,
+        constraint=ic)
+    target_relevant = _add_collection_member(
+        aig, target_member, ic.target, ic.target_fields, bag=False,
+        constraint=ic)
+    # The subset guard needs both members at the context type; a context
+    # that can only contain one side holds trivially or vacuously — the
+    # guard is placed only where the source side exists.
+    contexts = _types_matching(aig, ic.context)
+    fields = tuple(f"v{i}" for i in range(len(ic.target_fields)))
+    for context_type in sorted(contexts):
+        if context_type not in source_relevant:
+            continue
+        if context_type not in target_relevant:
+            _add_member(aig, context_type, target_member, fields, bag=False)
+            _extend_rule_empty(aig, context_type, target_member)
+        aig.add_guard(context_type,
+                      SubsetGuard(context_type, source_member, target_member,
+                                  ic))
+
+
+def _extend_rule_empty(aig: AIG, element_type: str, member: str) -> None:
+    """Give ``member`` an always-empty rule at ``element_type``."""
+    rule = aig.rule_for(element_type)
+    expr = EmptyCollection()
+    if isinstance(rule, SequenceRule):
+        aig.rules[element_type] = SequenceRule(
+            rule.inh, _extend_assign(rule.syn, member, expr))
+    elif isinstance(rule, StarRule):
+        aig.rules[element_type] = StarRule(
+            rule.child_query, _extend_assign(rule.syn, member, expr))
+    elif isinstance(rule, PCDataRule):
+        aig.rules[element_type] = PCDataRule(
+            rule.text, _extend_assign(rule.syn, member, expr))
+    elif isinstance(rule, EmptyRule):
+        aig.rules[element_type] = EmptyRule(
+            _extend_assign(rule.syn, member, expr))
+    else:
+        assert isinstance(rule, ChoiceRule)
+        aig.rules[element_type] = ChoiceRule(rule.condition, tuple(
+            (name, ChoiceBranch(branch.inh,
+                                _extend_assign(branch.syn, member, expr)))
+            for name, branch in rule.branches))

@@ -1,0 +1,100 @@
+"""Multi-source query decomposition (Section 3.4).
+
+Every query in an AIG rule that touches more than one data source is
+decomposed into a chain of single-source *internal states* — the paper's
+``St``, ``St1``, ``St2`` of Fig. 4 — by the left-deep planner of
+:mod:`repro.sqlq.planner`.  Each state is a :class:`~repro.sqlq.planner.
+PlanStep`: a single-source query reading the previous state's output as a
+temp-table input.  States never appear in the generated document.
+
+:func:`decompose_query_sites` enumerates every query site of an AIG and
+returns its decomposition; the optimizer applies the same planner to the
+set-oriented rewritten queries when it builds the query dependency graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.statistics import StatisticsCatalog
+from repro.sqlq.analyze import sources_of
+from repro.sqlq.planner import PlanStep, plan_steps
+from repro.aig.functions import QueryFunc
+from repro.aig.grammar import AIG
+from repro.aig.rules import ChoiceRule, SequenceRule, StarRule
+
+
+@dataclass(frozen=True)
+class QuerySite:
+    """Where a query appears in an AIG.
+
+    ``kind`` is ``"star"`` (iteration query), ``"inh"`` (query-valued
+    inherited attribute of a sequence child), ``"branch"`` (ditto for a
+    choice branch), or ``"condition"`` (a choice condition query).
+    ``element_type`` owns the production; ``child`` is the affected child
+    type (empty for conditions).
+    """
+
+    element_type: str
+    kind: str
+    child: str
+
+    @property
+    def name(self) -> str:
+        suffix = f".{self.child}" if self.child else ""
+        return f"{self.element_type}{suffix}:{self.kind}"
+
+
+def query_sites(aig: AIG) -> list[tuple[QuerySite, QueryFunc]]:
+    """All query sites of an AIG, in deterministic order."""
+    sites: list[tuple[QuerySite, QueryFunc]] = []
+    for element_type in sorted(aig.dtd.productions):
+        try:
+            rule = aig.rule_for(element_type)
+        except Exception:
+            continue
+        if isinstance(rule, StarRule):
+            sites.append((QuerySite(element_type, "star",
+                                    _star_child(aig, element_type)),
+                          rule.child_query))
+        elif isinstance(rule, SequenceRule):
+            for child, function in rule.inh:
+                if isinstance(function, QueryFunc):
+                    sites.append((QuerySite(element_type, "inh", child),
+                                  function))
+        elif isinstance(rule, ChoiceRule):
+            sites.append((QuerySite(element_type, "condition", ""),
+                          rule.condition))
+            for child, branch in rule.branches:
+                if isinstance(branch.inh, QueryFunc):
+                    sites.append((QuerySite(element_type, "branch", child),
+                                  branch.inh))
+    return sites
+
+
+def _star_child(aig: AIG, element_type: str) -> str:
+    from repro.dtd.model import Star
+    model = aig.dtd.production(element_type)
+    assert isinstance(model, Star)
+    return model.item.value
+
+
+def decompose_query_sites(
+        aig: AIG,
+        stats: StatisticsCatalog | None = None
+) -> dict[QuerySite, list[PlanStep]]:
+    """Decompose every multi-source query site into single-source states.
+
+    Single-source sites map to a one-step plan (unchanged query), so the
+    result covers *all* sites and downstream code needs no special cases.
+    """
+    plans: dict[QuerySite, list[PlanStep]] = {}
+    for site, function in query_sites(aig):
+        plans[site] = plan_steps(function.query, site.name, stats)
+    return plans
+
+
+def multi_source_sites(aig: AIG) -> list[QuerySite]:
+    """Sites whose query touches more than one source (need decomposition)."""
+    return [site for site, function in query_sites(aig)
+            if len(sources_of(function.query)) > 1]

@@ -1,0 +1,102 @@
+"""Direct validation of XML keys and inclusion constraints over trees.
+
+These checkers walk the materialized tree and are the semantic ground truth:
+the constraint-compilation path (Section 3.3) must abort generation exactly
+when these checkers would report a violation on the finished document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.model import Constraint, InclusionConstraint, Key
+from repro.xmlmodel.node import XMLElement
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation, located at a context element."""
+
+    constraint: Constraint
+    context_path: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.constraint} violated at {self.context_path}: {self.detail}"
+
+
+def check_constraint(tree: XMLElement, constraint: Constraint) -> list[Violation]:
+    """All violations of one constraint in ``tree``."""
+    if isinstance(constraint, Key):
+        return _check_key(tree, constraint)
+    if isinstance(constraint, InclusionConstraint):
+        return _check_inclusion(tree, constraint)
+    raise TypeError(f"unknown constraint type {type(constraint).__name__}")
+
+
+def check_constraints(tree: XMLElement,
+                      constraints: list[Constraint]) -> list[Violation]:
+    """All violations of all constraints, in constraint order."""
+    violations: list[Violation] = []
+    for constraint in constraints:
+        violations.extend(check_constraint(tree, constraint))
+    return violations
+
+
+def find_violations(tree: XMLElement,
+                    constraints: list[Constraint]) -> list[Violation]:
+    """Alias of :func:`check_constraints` (reads better at call sites)."""
+    return check_constraints(tree, constraints)
+
+
+def satisfies(tree: XMLElement, constraints: list[Constraint]) -> bool:
+    return not check_constraints(tree, constraints)
+
+
+def _field_tuple(node: XMLElement, fields: tuple[str, ...]):
+    """The node's (f1,...,fk) subelement value tuple; None if any absent."""
+    values = tuple(node.subelement_value(f) for f in fields)
+    if any(value is None for value in values):
+        return None
+    return values
+
+
+def _check_key(tree: XMLElement, key: Key) -> list[Violation]:
+    violations: list[Violation] = []
+    for context_node in tree.iter(key.context):
+        seen: dict[tuple, int] = {}
+        for target_node in context_node.iter(key.target):
+            value = _field_tuple(target_node, key.fields)
+            if value is None:
+                continue
+            seen[value] = seen.get(value, 0) + 1
+        duplicates = sorted(v for v, count in seen.items() if count > 1)
+        if duplicates:
+            shown = [v[0] if len(v) == 1 else v for v in duplicates]
+            violations.append(Violation(
+                key, context_node.path(),
+                f"duplicate {'/'.join(key.fields)} value(s) {shown} among "
+                f"{key.target} elements"))
+    return violations
+
+
+def _check_inclusion(tree: XMLElement,
+                     ic: InclusionConstraint) -> list[Violation]:
+    violations: list[Violation] = []
+    for context_node in tree.iter(ic.context):
+        available = {_field_tuple(node, ic.target_fields)
+                     for node in context_node.iter(ic.target)}
+        available.discard(None)
+        missing = sorted({
+            value
+            for node in context_node.iter(ic.source)
+            if (value := _field_tuple(node, ic.source_fields)) is not None
+            and value not in available})
+        if missing:
+            shown = [v[0] if len(v) == 1 else v for v in missing]
+            violations.append(Violation(
+                ic, context_node.path(),
+                f"{ic.source}.{'/'.join(ic.source_fields)} value(s) {shown} "
+                f"have no matching "
+                f"{ic.target}.{'/'.join(ic.target_fields)}"))
+    return violations

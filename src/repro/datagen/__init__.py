@@ -1,0 +1,33 @@
+"""Synthetic hospital data — the ToXgene substitute (Section 6).
+
+The paper generated its datasets with ToXgene and bulk-loaded them into DB2;
+here a seeded generator produces the six relations at the exact Table 1
+cardinalities.  The ``procedure`` relation is a layered DAG calibrated so
+its self-join growth tracks the paper's reported figures for the Large
+dataset (3-way ≈ 4055, 4-way ≈ 6837 — see ``EXPERIMENTS.md`` for measured
+values), which is what drives the intermediate-result growth across
+DTD-unfolding levels in Figure 10.
+"""
+
+from repro.datagen.generator import (
+    HospitalDataset,
+    Scale,
+    SCALES,
+    generate,
+    procedure_path_counts,
+)
+from repro.datagen.loader import load_dataset, make_loaded_sources
+from repro.datagen.csvio import bulk_load_csv, export_csv, import_csv
+
+__all__ = [
+    "bulk_load_csv",
+    "export_csv",
+    "import_csv",
+    "HospitalDataset",
+    "Scale",
+    "SCALES",
+    "generate",
+    "procedure_path_counts",
+    "load_dataset",
+    "make_loaded_sources",
+]

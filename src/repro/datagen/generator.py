@@ -1,0 +1,243 @@
+"""Seeded generation of the hospital relations at the Table 1 scales.
+
+Cardinalities (Table 1 of the paper)::
+
+              patient  visitInfo  cover  billing  treatment  procedure
+    small        2500      11371   2224      175        175        441
+    medium       3300      14887   3762      250        250        718
+    large        5000      22496   8996      350        350        923
+
+The ``procedure`` hierarchy is a 7-layer DAG.  Layer sizes and per-layer
+out-degrees were calibrated offline against the paper's in-text self-join
+cardinalities for Large (3-way 4055, 4-way 6837; we land within a few
+percent) and are scaled proportionally for the other datasets, with random
+edge insertion/removal to hit the exact Table 1 edge counts.
+
+By construction the generated data satisfies σ0's constraints: ``billing``
+prices every treatment exactly once (key + inclusion constraint hold).
+``violate_inclusion``/``violate_key`` inject targeted violations for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+
+#: Relative layer sizes and per-layer mean out-degrees of the procedure DAG
+#: (calibrated for Large = 350 treatments / 923 edges).
+_LAYER_FRACTIONS = [69 / 350, 64 / 350, 62 / 350, 47 / 350, 47 / 350,
+                    34 / 350, 27 / 350]
+_LAYER_DEGREES = [3.177, 2.706, 3.145, 1.214, 3.434, 2.833]
+
+#: Visit dates: ten days of June 2003 (the paper's daily-report scenario).
+DATES = [f"2003-06-{day:02d}" for day in range(1, 11)]
+
+_TREATMENT_NAMES = [
+    "checkup", "xray", "mri", "biopsy", "bloodwork", "cast", "suture",
+    "vaccination", "ultrasound", "dialysis", "chemotherapy", "physical",
+    "ekg", "endoscopy", "allergy-test",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Target cardinalities for one dataset."""
+
+    name: str
+    patients: int
+    visits: int
+    covers: int
+    treatments: int
+    procedures: int
+
+    @property
+    def billing(self) -> int:
+        return self.treatments  # one price per treatment (IC by construction)
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale("tiny", 50, 220, 60, 20, 24),  # fast tests
+    "small": Scale("small", 2500, 11371, 2224, 175, 441),
+    "medium": Scale("medium", 3300, 14887, 3762, 250, 718),
+    "large": Scale("large", 5000, 22496, 8996, 350, 923),
+}
+
+
+@dataclass
+class HospitalDataset:
+    """Generated rows for the four databases, plus metadata."""
+
+    scale: Scale
+    patient: list[tuple] = field(default_factory=list)
+    visit_info: list[tuple] = field(default_factory=list)
+    cover: list[tuple] = field(default_factory=list)
+    billing: list[tuple] = field(default_factory=list)
+    treatment: list[tuple] = field(default_factory=list)
+    procedure: list[tuple] = field(default_factory=list)
+
+    def busiest_date(self) -> str:
+        """The report date with the most visits (the benchmark workload)."""
+        counts: dict[str, int] = {}
+        for _, _, date in self.visit_info:
+            counts[date] = counts.get(date, 0) + 1
+        return max(sorted(counts), key=counts.get)
+
+    def cardinalities(self) -> dict[str, int]:
+        return {
+            "patient": len(self.patient),
+            "visitInfo": len(self.visit_info),
+            "cover": len(self.cover),
+            "billing": len(self.billing),
+            "treatment": len(self.treatment),
+            "procedure": len(self.procedure),
+        }
+
+
+def generate(scale: str | Scale = "small", seed: int = 42,
+             violate_inclusion: bool = False,
+             violate_key: bool = False) -> HospitalDataset:
+    """Generate one dataset deterministically from ``seed``."""
+    if isinstance(scale, str):
+        try:
+            scale = SCALES[scale]
+        except KeyError:
+            raise SpecError(f"unknown scale {scale!r}; "
+                            f"choose from {sorted(SCALES)}") from None
+    # zlib.crc32 is stable across processes (str.__hash__ is randomized,
+    # which would make "deterministic" datasets differ between runs).
+    import zlib
+    rng = random.Random(zlib.crc32(f"{scale.name}:{seed}".encode()))
+    dataset = HospitalDataset(scale)
+
+    # -- treatments and the procedure DAG --------------------------------
+    trids = [f"T{i:04d}" for i in range(scale.treatments)]
+    dataset.treatment = [
+        (trid, f"{_TREATMENT_NAMES[i % len(_TREATMENT_NAMES)]}-{i}")
+        for i, trid in enumerate(trids)]
+    dataset.procedure = _procedure_dag(trids, scale.procedures, rng)
+
+    # -- billing: every treatment priced exactly once --------------------
+    dataset.billing = [(trid, str(rng.randrange(25, 950)))
+                       for trid in trids]
+
+    # -- patients and policies -------------------------------------------
+    n_policies = max(1, scale.patients // 5)
+    policies = [f"P{i:05d}" for i in range(n_policies)]
+    dataset.patient = [
+        (f"S{i:06d}", f"patient-{i}", rng.choice(policies))
+        for i in range(scale.patients)]
+
+    # -- insurance coverage ----------------------------------------------
+    pairs: set[tuple[str, str]] = set()
+    while len(pairs) < scale.covers:
+        pairs.add((rng.choice(policies), rng.choice(trids)))
+    dataset.cover = sorted(pairs)
+
+    # -- visits ------------------------------------------------------------
+    dataset.visit_info = [
+        (dataset.patient[rng.randrange(scale.patients)][0],
+         rng.choice(trids), rng.choice(DATES))
+        for _ in range(scale.visits)]
+
+    if violate_inclusion:
+        _inject_inclusion_violation(dataset, rng)
+    if violate_key:
+        _inject_key_violation(dataset, rng)
+    return dataset
+
+
+def _procedure_dag(trids: list[str], target_edges: int,
+                   rng: random.Random) -> list[tuple[str, str]]:
+    """A layered DAG over the treatments with exactly ``target_edges``."""
+    total = len(trids)
+    sizes = [max(1, int(round(fraction * total)))
+             for fraction in _LAYER_FRACTIONS]
+    while sum(sizes) > total:
+        sizes[sizes.index(max(sizes))] -= 1
+    sizes[0] += total - sum(sizes)
+    layers: list[list[str]] = []
+    cursor = 0
+    for size in sizes:
+        layers.append(trids[cursor:cursor + size])
+        cursor += size
+
+    edges: set[tuple[str, str]] = set()
+    for level, mean_degree in enumerate(_LAYER_DEGREES):
+        below = layers[level + 1]
+        for node in layers[level]:
+            degree = int(mean_degree)
+            if rng.random() < mean_degree - degree:
+                degree += 1
+            degree = min(degree, len(below))
+            for child in rng.sample(below, degree):
+                edges.add((node, child))
+
+    # Adjust to the exact Table 1 cardinality.
+    edge_list = sorted(edges)
+    while len(edge_list) > target_edges:
+        edge_list.pop(rng.randrange(len(edge_list)))
+    attempts = 0
+    existing = set(edge_list)
+    deepest = len(_LAYER_DEGREES) - 1
+    while len(edge_list) < target_edges and attempts < 100000:
+        # Pad at the deepest transition: those edges extend few paths, so
+        # the calibrated join growth stays close to the paper's figures.
+        attempts += 1
+        candidate = (rng.choice(layers[deepest]),
+                     rng.choice(layers[deepest + 1]))
+        if candidate not in existing:
+            existing.add(candidate)
+            edge_list.append(candidate)
+        elif attempts % 100 == 0:
+            deepest = max(0, deepest - 1)  # deepest layer saturated
+    return sorted(edge_list)
+
+
+def procedure_path_counts(procedure_rows: list[tuple],
+                          max_length: int) -> list[int]:
+    """Number of directed paths of each length 1..max_length — the n-way
+    self-join cardinalities of the ``procedure`` relation (Section 6)."""
+    from collections import defaultdict
+    ending_at: dict[str, int] = defaultdict(int)
+    for _, child in procedure_rows:
+        ending_at[child] += 1
+    counts = [len(procedure_rows)]
+    current = dict(ending_at)
+    for _ in range(2, max_length + 1):
+        following: dict[str, int] = defaultdict(int)
+        for parent, child in procedure_rows:
+            if current.get(parent):
+                following[child] += current[parent]
+        current = dict(following)
+        counts.append(sum(current.values()))
+    return counts
+
+
+def _inject_inclusion_violation(dataset: HospitalDataset,
+                                rng: random.Random) -> None:
+    """Remove a billing row whose treatment is visited and covered, so the
+    inclusion constraint fails for some patient."""
+    covered = {trid for _, trid in dataset.cover}
+    visited = {trid for _, trid, _ in dataset.visit_info}
+    candidates = sorted(covered & visited)
+    if not candidates:
+        raise SpecError("cannot inject an inclusion violation: no covered, "
+                        "visited treatment exists")
+    victim = rng.choice(candidates)
+    dataset.billing = [row for row in dataset.billing if row[0] != victim]
+
+
+def _inject_key_violation(dataset: HospitalDataset,
+                          rng: random.Random) -> None:
+    """Duplicate a billing row for a visited, covered treatment (requires
+    loading into an unkeyed billing table)."""
+    covered = {trid for _, trid in dataset.cover}
+    visited = {trid for _, trid, _ in dataset.visit_info}
+    candidates = [row for row in dataset.billing
+                  if row[0] in covered and row[0] in visited]
+    if not candidates:
+        raise SpecError("cannot inject a key violation")
+    duplicate = rng.choice(candidates)
+    dataset.billing.append((duplicate[0], str(int(duplicate[1]) + 1)))

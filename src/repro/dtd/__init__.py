@@ -1,0 +1,62 @@
+"""DTD substrate.
+
+Implements the paper's Section 2 view of a DTD: ``D = (Ele, P, r)`` where each
+production ``P(A)`` is (after normalization) one of the five simplified forms
+
+    S  |  epsilon  |  B1, ..., Bn  |  B1 + ... + Bn  |  B*
+
+General regular-expression content models are supported by the parser and can
+be normalized into the simplified form by introducing synthetic element types
+(the paper's "entities"), in linear time.
+"""
+
+from repro.dtd.model import (
+    DTD,
+    ContentModel,
+    PCDATA,
+    Empty,
+    Name,
+    Sequence,
+    Choice,
+    Star,
+    Plus,
+    Optional,
+    S,
+    EPSILON,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.normalize import normalize_dtd, is_simple
+from repro.dtd.analysis import (
+    element_graph,
+    recursive_types,
+    reachable_types,
+    is_recursive,
+    unfold_dtd,
+    unfolded_name,
+    base_name,
+)
+
+__all__ = [
+    "DTD",
+    "ContentModel",
+    "PCDATA",
+    "Empty",
+    "Name",
+    "Sequence",
+    "Choice",
+    "Star",
+    "Plus",
+    "Optional",
+    "S",
+    "EPSILON",
+    "parse_dtd",
+    "normalize_dtd",
+    "is_simple",
+    "element_graph",
+    "recursive_types",
+    "reachable_types",
+    "is_recursive",
+    "unfold_dtd",
+    "unfolded_name",
+    "base_name",
+]

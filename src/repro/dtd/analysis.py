@@ -1,0 +1,282 @@
+"""Structural analyses over DTDs: element graph, recursion, reachability,
+and recursion *unfolding*.
+
+Unfolding (Section 5.5 of the paper) turns a recursive DTD into a
+non-recursive one given a depth estimate ``d``.  The unfolding budget is
+consumed exactly at *truncatable* recursive references — a recursive name
+under a Kleene star, or a recursive alternative of a choice — because those
+are the points where recursion can stop without changing required structure
+(the paper unfolds the rule ``procedure -> treatment*`` and assumes "the
+procedure leaf has no children").  With budget 0, ``B*`` over a recursive
+``B`` becomes ``EMPTY`` and recursive choice alternatives are dropped.
+Required recursive references (inside sequences) pass the budget through
+unchanged; a recursive cycle with no truncatable edge is rejected since no
+finite unfolding exists for it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DTDError
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    ContentModel,
+    Empty,
+    Name,
+    PCDATA,
+    Sequence,
+    Star,
+    UNFOLD_SEPARATOR,
+)
+
+
+def element_graph(dtd: DTD) -> dict[str, set[str]]:
+    """Adjacency map: A -> set of element types referenced by P(A)."""
+    return {element_type: set(model.names())
+            for element_type, model in dtd.productions.items()}
+
+
+def reachable_types(dtd: DTD) -> set[str]:
+    """Element types reachable from the root (including the root)."""
+    graph = element_graph(dtd)
+    seen = {dtd.root}
+    stack = [dtd.root]
+    while stack:
+        node = stack.pop()
+        for successor in graph[node]:
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def _strongly_connected_components(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's algorithm, iterative to avoid recursion limits."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = [0]
+
+    def visit(root_node: str) -> None:
+        work = [(root_node, iter(sorted(graph[root_node])))]
+        index[root_node] = lowlink[root_node] = counter[0]
+        counter[0] += 1
+        stack.append(root_node)
+        on_stack.add(root_node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[current] = min(lowlink[current], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == current:
+                        break
+                components.append(component)
+
+    for node in graph:
+        if node not in index:
+            visit(node)
+    return components
+
+
+def recursive_types(dtd: DTD) -> set[str]:
+    """Element types that lie on a cycle of the element graph."""
+    graph = element_graph(dtd)
+    result: set[str] = set()
+    for component in _strongly_connected_components(graph):
+        if len(component) > 1:
+            result.update(component)
+        else:
+            (only,) = component
+            if only in graph[only]:
+                result.add(only)
+    return result
+
+
+def is_recursive(dtd: DTD) -> bool:
+    return bool(recursive_types(dtd))
+
+
+def unfolded_name(element_type: str, depth: int) -> str:
+    """Name of the copy of an element type with ``depth`` budget remaining."""
+    return f"{element_type}{UNFOLD_SEPARATOR}{depth}"
+
+
+def base_name(element_type: str) -> str:
+    """Strip an unfolding suffix, recovering the original type name."""
+    head, separator, tail = element_type.rpartition(UNFOLD_SEPARATOR)
+    if separator and tail.isdigit():
+        return head
+    return element_type
+
+
+def _truncatable_edges(dtd: DTD, recursive: set[str]) -> set[tuple[str, str]]:
+    """Edges (A, B) where B is recursive and droppable inside P(A)."""
+    edges: set[tuple[str, str]] = set()
+    for element_type, model in dtd.productions.items():
+        if isinstance(model, Star) and isinstance(model.item, Name):
+            if model.item.value in recursive:
+                edges.add((element_type, model.item.value))
+        elif isinstance(model, Choice):
+            recursive_alts = [item for item in model.items
+                              if isinstance(item, Name)
+                              and item.value in recursive]
+            # Droppable only if at least one non-recursive alternative remains.
+            if recursive_alts and len(recursive_alts) < len(model.items):
+                edges.update((element_type, alt.value)
+                             for alt in recursive_alts)
+    return edges
+
+
+def _check_every_cycle_truncatable(dtd: DTD, recursive: set[str],
+                                   truncatable: set[tuple[str, str]]) -> None:
+    """Reject DTDs with a recursive cycle that has no truncation point."""
+    required_graph = {
+        element_type: {name for name in targets
+                       if name in recursive
+                       and (element_type, name) not in truncatable}
+        for element_type, targets in element_graph(dtd).items()
+        if element_type in recursive
+    }
+    for component in _strongly_connected_components(required_graph):
+        bad = len(component) > 1 or (
+            next(iter(component)) in required_graph[next(iter(component))])
+        if bad:
+            raise DTDError(
+                "cannot unfold recursion: the cycle through "
+                f"{sorted(component)} has no starred or droppable-choice "
+                "reference at which to truncate")
+
+
+def unfold_dtd(dtd: DTD, depth: int) -> DTD:
+    """Unfold all recursion in ``dtd`` into a non-recursive DTD.
+
+    Requires a *simplified* DTD (run :func:`repro.dtd.normalize.normalize_dtd`
+    first).  ``depth`` is the number of times each truncatable recursive
+    reference may be traversed; the paper's "k levels of trId elements" for
+    the hospital DTD corresponds to ``depth = k``.
+
+    Every type that can reach a recursive type is copied once per remaining
+    budget, named ``name#budget``; use :func:`base_name` to recover original
+    names.  Types that cannot reach recursion keep their names and are shared.
+    """
+    if depth < 0:
+        raise DTDError("unfold depth must be >= 0")
+    for element_type in dtd.productions:
+        if base_name(element_type) != element_type:
+            raise DTDError(
+                f"element type {element_type!r} already carries an unfolding "
+                f"suffix; unfold the original DTD instead")
+    recursive = recursive_types(dtd)
+    if not recursive:
+        return dtd
+    truncatable = _truncatable_edges(dtd, recursive)
+    _check_every_cycle_truncatable(dtd, recursive, truncatable)
+
+    graph = element_graph(dtd)
+    # relevant = can reach a recursive type (these need per-budget copies)
+    relevant = set(recursive)
+    changed = True
+    while changed:
+        changed = False
+        for element_type, successors in graph.items():
+            if element_type not in relevant and successors & relevant:
+                relevant.add(element_type)
+                changed = True
+
+    out: dict[str, ContentModel] = {}
+    worklist: list[tuple[str, int, str]] = []
+
+    def reference(name: str, budget: int) -> str:
+        """Target name for ``name`` seen with ``budget`` remaining; enqueue."""
+        target = unfolded_name(name, budget) if name in relevant else name
+        if target not in out:
+            out[target] = EPSILON_PLACEHOLDER
+            worklist.append((name, budget, target))
+        return target
+
+    def rewrite(owner: str, source_type: str, model: ContentModel,
+                budget: int) -> ContentModel:
+        if isinstance(model, (PCDATA, Empty)):
+            return model
+        if isinstance(model, Name):
+            return Name(_required(owner, model.value, budget))
+        if isinstance(model, Sequence):
+            return Sequence(*[Name(_required(owner, item.value, budget))
+                              for item in _names_only(owner, model)])
+        if isinstance(model, Choice):
+            survivors = []
+            for item in _names_only(owner, model):
+                droppable = (source_type, item.value) in truncatable
+                if droppable:
+                    if budget == 0:
+                        continue
+                    survivors.append(Name(reference(item.value, budget - 1)))
+                else:
+                    survivors.append(Name(_required(owner, item.value, budget)))
+            if not survivors:
+                raise DTDError(
+                    f"cannot truncate recursion in {owner!r}: every "
+                    f"alternative is recursive at depth 0")
+            # Stays a choice even with one survivor: the production form
+            # (and its rule) must not change shape across unfolding levels.
+            return Choice(*survivors)
+        if isinstance(model, Star):
+            if not isinstance(model.item, Name):
+                raise DTDError(f"unfold requires a simplified DTD "
+                               f"(found {model!r} in {owner!r})")
+            child = model.item.value
+            if (source_type, child) in truncatable:
+                if budget == 0:
+                    return Empty()
+                return Star(Name(reference(child, budget - 1)))
+            return Star(Name(_required(owner, child, budget)))
+        raise DTDError(f"unfold requires a simplified DTD; normalize first "
+                       f"(found {model!r} in {owner!r})")
+
+    def _required(owner: str, name: str, budget: int) -> str:
+        """A non-droppable reference: the budget passes through unchanged."""
+        return reference(name, budget)
+
+    def _names_only(owner: str, model: ContentModel) -> list[Name]:
+        items = []
+        for item in model.items:
+            if not isinstance(item, Name):
+                raise DTDError(f"unfold requires a simplified DTD "
+                               f"(found {item!r} in {owner!r})")
+            items.append(item)
+        return items
+
+    root_target = reference(dtd.root, depth)
+    while worklist:
+        source_type, budget, target = worklist.pop()
+        out[target] = rewrite(target, source_type,
+                              dtd.production(source_type), budget)
+    return DTD(root_target, out)
+
+
+#: Placeholder content model used to reserve a production slot while its
+#: real body is still on the worklist (never visible in the final DTD).
+EPSILON_PLACEHOLDER = Empty()

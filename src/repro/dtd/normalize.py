@@ -1,0 +1,127 @@
+"""Normalization of general content models into the paper's simplified form.
+
+Section 2 of the paper restricts productions to
+
+    S  |  epsilon  |  B1, ..., Bn  |  B1 + ... + Bn  |  B*
+
+and notes that a DTD with general regular expressions converts to this form in
+linear time by introducing *entities* (synthetic element types).  This module
+implements that conversion.  Synthetic types are named ``<owner>%<n>`` — the
+``%`` separator is reserved and rejected in user element names, so synthetic
+types can never collide with user ones, and downstream code can recognize them
+(e.g. the tagging phase erases them, restoring conformance to the original
+general DTD).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DTDError
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    ContentModel,
+    Empty,
+    Name,
+    Optional,
+    PCDATA,
+    Plus,
+    Sequence,
+    Star,
+)
+
+#: Separator used in synthetic (entity) element-type names.
+ENTITY_SEPARATOR = "%"
+
+
+def is_simple(model: ContentModel) -> bool:
+    """Is ``model`` already one of the five simplified forms?"""
+    if isinstance(model, (PCDATA, Empty)):
+        return True
+    if isinstance(model, Name):
+        # A bare name is a one-element sequence, which is simple.
+        return True
+    if isinstance(model, (Sequence, Choice)):
+        return all(isinstance(item, Name) for item in model.items)
+    if isinstance(model, Star):
+        return isinstance(model.item, Name)
+    return False
+
+
+def is_simple_dtd(dtd: DTD) -> bool:
+    return all(is_simple(m) for m in dtd.productions.values())
+
+
+def is_entity_type(element_type: str) -> bool:
+    """Was this element type introduced by normalization?"""
+    return ENTITY_SEPARATOR in element_type
+
+
+def normalize_dtd(dtd: DTD) -> DTD:
+    """Return an equivalent DTD in simplified form.
+
+    Every production of the result satisfies :func:`is_simple`; documents of
+    the original DTD correspond one-to-one to documents of the result by
+    inserting/erasing the synthetic entity elements (both directions are
+    linear-time, as the paper observes).
+    """
+    for element_type in dtd.productions:
+        if ENTITY_SEPARATOR in element_type:
+            raise DTDError(
+                f"element type {element_type!r} contains the reserved "
+                f"character {ENTITY_SEPARATOR!r}")
+    normalizer = _Normalizer(dtd)
+    return normalizer.run()
+
+
+class _Normalizer:
+    def __init__(self, dtd: DTD):
+        self.dtd = dtd
+        self.out: dict[str, ContentModel] = {}
+        self.counters: dict[str, int] = {}
+
+    def run(self) -> DTD:
+        for element_type, model in self.dtd.productions.items():
+            self.out[element_type] = self._simplify_top(element_type, model)
+        return DTD(self.dtd.root, self.out)
+
+    def _fresh(self, owner: str, model: ContentModel) -> Name:
+        """Declare a synthetic type for ``model`` and return a reference."""
+        count = self.counters.get(owner, 0) + 1
+        self.counters[owner] = count
+        name = f"{owner}{ENTITY_SEPARATOR}{count}"
+        # Reserve the slot first so recursion through self-references works.
+        self.out[name] = Empty()
+        self.out[name] = self._simplify_top(name, model)
+        return Name(name)
+
+    def _simplify_top(self, owner: str, model: ContentModel) -> ContentModel:
+        """Rewrite ``model`` into a simplified production for ``owner``."""
+        if isinstance(model, (PCDATA, Empty)):
+            return model
+        if isinstance(model, Name):
+            return Sequence(model)
+        if isinstance(model, Sequence):
+            return Sequence(*[self._as_name(owner, item)
+                              for item in model.items])
+        if isinstance(model, Choice):
+            return Choice(*[self._as_name(owner, item)
+                            for item in model.items])
+        if isinstance(model, Star):
+            return Star(self._as_name(owner, model.item))
+        if isinstance(model, Plus):
+            # c+  ==  c, c*
+            item = self._as_name(owner, model.item)
+            star = self._as_name(owner, Star(item))
+            return Sequence(item, star)
+        if isinstance(model, Optional):
+            # c?  ==  c + epsilon, with epsilon wrapped in a synthetic type
+            item = self._as_name(owner, model.item)
+            nothing = self._fresh(owner, Empty())
+            return Choice(item, nothing)
+        raise DTDError(f"unknown content model {model!r}")
+
+    def _as_name(self, owner: str, model: ContentModel) -> Name:
+        """Reduce an arbitrary sub-model to a single Name reference."""
+        if isinstance(model, Name):
+            return model
+        return self._fresh(owner, model)

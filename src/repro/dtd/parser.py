@@ -1,0 +1,184 @@
+"""Parser for ``<!ELEMENT …>`` DTD text.
+
+Accepts the full regular-expression content syntax (nested groups, ``|``,
+``,``, ``*``, ``+``, ``?``), plus ``EMPTY`` and ``(#PCDATA)``.  As in the
+paper's examples, element types whose production is PCDATA may be omitted;
+with ``default_pcdata=True`` (the default) any referenced-but-undeclared type
+is auto-declared as PCDATA.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DTDError
+from repro.dtd.model import (
+    DTD,
+    Choice,
+    ContentModel,
+    Empty,
+    Name,
+    Optional,
+    PCDATA,
+    Plus,
+    Sequence,
+    Star,
+)
+
+_DECL_RE = re.compile(r"<!ELEMENT\s+([^\s>]+)\s+(.*?)>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+
+def parse_dtd(text: str, root: str | None = None,
+              default_pcdata: bool = True) -> DTD:
+    """Parse DTD text into a :class:`DTD`.
+
+    ``root`` defaults to the first declared element type.  Raises
+    :class:`DTDError` on syntax errors, duplicate declarations, or (when
+    ``default_pcdata`` is off) undeclared references.
+    """
+    stripped = _COMMENT_RE.sub("", text)
+    productions: dict[str, ContentModel] = {}
+    order: list[str] = []
+    matched_spans: list[tuple[int, int]] = []
+    for match in _DECL_RE.finditer(stripped):
+        element_type, body = match.group(1), match.group(2).strip()
+        if element_type in productions:
+            raise DTDError(f"duplicate declaration of element type "
+                           f"{element_type!r}")
+        productions[element_type] = _parse_content(body, element_type)
+        order.append(element_type)
+        matched_spans.append(match.span())
+    _check_only_declarations(stripped, matched_spans)
+    if not productions:
+        raise DTDError("no <!ELEMENT> declarations found")
+    if default_pcdata:
+        _declare_missing_as_pcdata(productions)
+    if root is None:
+        root = order[0]
+    return DTD(root, productions)
+
+
+def _check_only_declarations(text: str, spans: list[tuple[int, int]]) -> None:
+    """Reject stray non-whitespace content between declarations."""
+    cursor = 0
+    for start, end in spans:
+        gap = text[cursor:start]
+        if gap.strip():
+            raise DTDError(f"unexpected content in DTD text: {gap.strip()[:40]!r}")
+        cursor = end
+    tail = text[cursor:]
+    if tail.strip():
+        raise DTDError(f"unexpected content in DTD text: {tail.strip()[:40]!r}")
+
+
+def _declare_missing_as_pcdata(productions: dict[str, ContentModel]) -> None:
+    missing: list[str] = []
+    for model in productions.values():
+        for name in model.names():
+            if name not in productions:
+                missing.append(name)
+    for name in missing:
+        productions.setdefault(name, PCDATA())
+
+
+def _parse_content(body: str, element_type: str) -> ContentModel:
+    if body == "EMPTY":
+        return Empty()
+    if body == "ANY":
+        raise DTDError(f"{element_type!r}: ANY content is not supported")
+    parser = _ContentParser(body, element_type)
+    model = parser.parse()
+    if isinstance(model, Name):
+        # A single-name production is a one-element sequence in the
+        # simplified form ("B1, ..., Bn" with n = 1).
+        model = Sequence(model)
+    return model
+
+
+class _ContentParser:
+    """Recursive-descent parser for content-model expressions."""
+
+    def __init__(self, text: str, element_type: str):
+        self.text = text
+        self.pos = 0
+        self.element_type = element_type
+
+    def error(self, message: str) -> DTDError:
+        return DTDError(f"in production of {self.element_type!r}: {message} "
+                        f"(at offset {self.pos} of {self.text!r})")
+
+    def parse(self) -> ContentModel:
+        model = self._parse_cp()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing content")
+        return model
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _parse_cp(self) -> ContentModel:
+        """cp := (name | group) postfix?"""
+        self._skip_ws()
+        if self._peek() == "(":
+            inner = self._parse_group()
+        else:
+            inner = self._parse_name()
+        return self._apply_postfix(inner)
+
+    def _apply_postfix(self, model: ContentModel) -> ContentModel:
+        suffix = self._peek()
+        if suffix == "*":
+            self.pos += 1
+            return Star(model)
+        if suffix == "+":
+            self.pos += 1
+            return Plus(model)
+        if suffix == "?":
+            self.pos += 1
+            return Optional(model)
+        return model
+
+    def _parse_name(self) -> ContentModel:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected element-type name or '('")
+        self.pos = match.end()
+        return Name(match.group(0))
+
+    def _parse_group(self) -> ContentModel:
+        assert self._peek() == "("
+        self.pos += 1
+        self._skip_ws()
+        if self.text.startswith("#PCDATA", self.pos):
+            self.pos += len("#PCDATA")
+            self._skip_ws()
+            if self._peek() != ")":
+                raise self.error("mixed content (#PCDATA | ...) is not supported")
+            self.pos += 1
+            return PCDATA()
+        items = [self._parse_cp()]
+        self._skip_ws()
+        separator = self._peek()
+        if separator not in ",|)":
+            raise self.error("expected ',', '|' or ')'")
+        while self._peek() == separator and separator != ")":
+            self.pos += 1
+            items.append(self._parse_cp())
+            self._skip_ws()
+            if self._peek() not in (separator, ")"):
+                raise self.error("cannot mix ',' and '|' in one group")
+        if self._peek() != ")":
+            raise self.error("expected ')'")
+        self.pos += 1
+        if len(items) == 1:
+            return items[0]
+        if separator == ",":
+            return Sequence(*items)
+        return Choice(*items)

@@ -1,0 +1,23 @@
+"""The paper's running example (Example 1.1): hospital -> insurance reports.
+
+Four relational sources (patient info, insurance coverage, billing, treatment
+procedures), the report DTD, the XML constraints, and the AIG σ0 of Fig. 2 —
+all built through the public API, so this package doubles as the library's
+largest usage example and as the fixture for tests and benchmarks.
+"""
+
+from repro.hospital.schema import (
+    HOSPITAL_DTD_TEXT,
+    hospital_catalog,
+    hospital_dtd,
+    make_sources,
+)
+from repro.hospital.aig_def import build_hospital_aig
+
+__all__ = [
+    "HOSPITAL_DTD_TEXT",
+    "hospital_catalog",
+    "hospital_dtd",
+    "make_sources",
+    "build_hospital_aig",
+]

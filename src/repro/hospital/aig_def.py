@@ -1,0 +1,109 @@
+"""The AIG σ0 of Fig. 2, expressed through the public builder API.
+
+Semantic attributes, rules, and constraints follow the paper line by line;
+the only cosmetic difference is that our star-production child queries
+compute the child's *entire* inherited attribute, so Q1 also projects the
+report date through (the paper writes that projection as the separate copy
+rule ``Inh(patient).date = Inh(report).date``).
+"""
+
+from __future__ import annotations
+
+from repro.aig import (
+    AIG,
+    assign,
+    collect,
+    inh,
+    query,
+    singleton,
+    syn,
+    union,
+)
+from repro.hospital.schema import hospital_catalog, hospital_dtd
+
+Q1_TEXT = """
+select distinct $date as date, p.SSN, p.pname, p.policy
+from DB1:patient p, DB1:visitInfo i
+where p.SSN = i.SSN and i.date = $date
+"""
+
+Q2_TEXT = """
+select distinct t.trId, t.tname
+from DB1:visitInfo i, DB2:cover c, DB4:treatment t
+where i.SSN = $SSN and i.date = $date and t.trId = i.trId
+  and c.trId = i.trId and c.policy = $policy
+"""
+
+Q3_TEXT = """
+select p.trId2 as trId, t.tname
+from DB4:procedure p, DB4:treatment t
+where p.trId1 = $trId and t.trId = p.trId2
+"""
+
+Q4_TEXT = """
+select b.trId, b.price
+from DB3:billing b
+where b.trId in $trIdS
+"""
+
+
+def build_hospital_aig(with_constraints: bool = True) -> AIG:
+    """Construct σ0 : {DB1..DB4} -> report DTD."""
+    aig = AIG(hospital_dtd(), hospital_catalog(), root_inh=("date",))
+
+    # -- semantic attributes (Fig. 2, top block) -----------------------
+    aig.inh("patient", "date", "SSN", "pname", "policy")
+    aig.inh("treatments", "date", "SSN", "policy")
+    aig.syn("treatments", sets={"trIdS": ("trId",)})
+    aig.inh("treatment", "trId", "tname")
+    aig.syn("treatment", sets={"trIdS": ("trId",)})
+    aig.inh("procedure", "trId")
+    aig.syn("procedure", sets={"trIdS": ("trId",)})
+    aig.inh("bill", sets={"trIdS": ("trId",)})
+    aig.inh("item", "trId", "price")
+    # PCDATA types (SSN, pname, trId, tname, price) keep their defaults:
+    # Inh = Syn = (val), text = Inh.val.
+
+    # -- semantic rules -------------------------------------------------
+    aig.rule("report", inh={"patient": query(Q1_TEXT)})
+
+    aig.rule("patient", inh={
+        "SSN": assign(val=inh("SSN")),
+        "pname": assign(val=inh("pname")),
+        "treatments": assign(date=inh("date"), SSN=inh("SSN"),
+                             policy=inh("policy")),
+        # Context dependence: the bill subtree needs the trIds collected
+        # while deriving the treatments subtree.
+        "bill": assign(trIdS=syn("treatments", "trIdS")),
+    })
+
+    aig.rule("treatments",
+             inh={"treatment": query(Q2_TEXT)},
+             syn=assign(trIdS=collect("treatment", "trIdS")))
+
+    aig.rule("treatment",
+             inh={
+                 "trId": assign(val=inh("trId")),
+                 "tname": assign(val=inh("tname")),
+                 "procedure": assign(trId=inh("trId")),
+             },
+             syn=assign(trIdS=union(syn("procedure", "trIdS"),
+                                    singleton(trId=syn("trId", "val")))))
+
+    aig.rule("procedure",
+             inh={"treatment": query(Q3_TEXT)},
+             syn=assign(trIdS=collect("treatment", "trIdS")))
+
+    aig.rule("bill", inh={"item": query(Q4_TEXT)})
+
+    aig.rule("item", inh={
+        "trId": assign(val=inh("trId")),
+        "price": assign(val=inh("price")),
+    })
+
+    # -- XML constraints -------------------------------------------------
+    if with_constraints:
+        aig.key("patient", "item", "trId")
+        aig.inclusion("patient", "treatment", "trId", "item", "trId")
+
+    return aig.validate()

@@ -1,0 +1,317 @@
+"""Cost evaluation (Section 5.2).
+
+Two layers:
+
+* :class:`CostModel` — the per-query "costing API" the paper assumes every
+  source provides: ``eval_cost(Q)`` (seconds) and ``size(Q)`` (bytes),
+  derived here from table statistics with System-R-style selectivities, so
+  estimates are deterministic and benchmarks reproducible.  Estimation runs
+  once over the whole graph in topological order, since a query that
+  references the results of other queries needs their cardinality estimates
+  as inputs — exactly the paper's "the API is able to accept cost estimates
+  of Q' (e.g., cardinality information) as inputs".
+
+* :func:`plan_cost` — the paper's ``comp_time`` recursion and ``cost(P)``:
+  the completion time of each query is its evaluation cost plus the later of
+  (a) the completion of its predecessor on the same source and (b) the
+  arrival of its inputs, priced by ``trans_cost``; the plan's response time
+  is the maximum completion (including the final shipment of
+  tagging-relevant outputs to the mediator), computed by dynamic programming
+  in at most quadratic time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.relational.network import Network
+from repro.relational.source import MEDIATOR_NAME
+from repro.relational.statistics import StatisticsCatalog
+from repro.sqlq.ast import (
+    BaseTable,
+    ColumnRef,
+    Comparison,
+    InSet,
+    Literal,
+    Param,
+    Query,
+    SetParamTable,
+    TempTable,
+)
+
+#: Calibration constants (seconds), sized for the paper's 2003-era setting
+#: (DB2 behind a middleware, 1 Mbps links): QUERY_OVERHEAD covers "opening a
+#: connection, parsing and preparing the statement"; PER_INPUT_ROW prices
+#: populating a query's input temp tables through the middleware (dynamic
+#: INSERTs — the dominant per-row cost, and the one merged queries avoid for
+#: inlined intermediates); PER_OUTPUT_ROW prices fetching/serializing a
+#: result row.  Local SQLite has none of these costs, so the simulated clock
+#: adds them explicitly from actual row counts.
+QUERY_OVERHEAD = 0.25
+PER_INPUT_ROW = 5e-4
+PER_OUTPUT_ROW = 1e-4
+DEFAULT_COLUMN_BYTES = 8.0
+
+
+@dataclass
+class NodeEstimate:
+    """Estimated output of one QDG node."""
+
+    cardinality: float
+    row_bytes: float
+    eval_seconds: float
+    distinct: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> float:
+        return self.cardinality * self.row_bytes
+
+    def distinct_count(self, column: str) -> float:
+        value = self.distinct.get(column, self.cardinality)
+        return max(1.0, min(value, max(self.cardinality, 1.0)))
+
+
+class CostModel:
+    """Derives per-node estimates for a query dependency graph."""
+
+    def __init__(self, stats: StatisticsCatalog,
+                 overhead: float = QUERY_OVERHEAD,
+                 per_input_row: float = PER_INPUT_ROW,
+                 per_output_row: float = PER_OUTPUT_ROW):
+        self.stats = stats
+        self.overhead = overhead
+        self.per_input_row = per_input_row
+        self.per_output_row = per_output_row
+
+    # ------------------------------------------------------------------
+    def estimate_graph(self, graph) -> dict[str, NodeEstimate]:
+        """Estimate every node, in topological order."""
+        estimates: dict[str, NodeEstimate] = {}
+        for node in graph.topological_order():
+            estimates[node.name] = self.estimate_node(graph, node, estimates)
+        return estimates
+
+    def estimate_node(self, graph, node,
+                      estimates: dict[str, NodeEstimate]) -> NodeEstimate:
+        if getattr(node, "members", None):
+            return self.estimate_merged(node, estimates)
+        if node.query is not None:
+            return self._estimate_query(node.query, estimates)
+        return self._estimate_raw(node, estimates)
+
+    def estimate_merged(self, node,
+                        estimates: dict[str, NodeEstimate]) -> NodeEstimate:
+        """A merged node: overhead paid once, member work summed, and the
+        input-materialization cost of *internal* edges discounted — inlined
+        members read each other as CTEs, so those intermediate results are
+        never populated into temp tables (the size-dependent benefit of
+        dependent-pair merging, Section 5.4)."""
+        member_names = {member.name for member in node.members}
+        work = 0.0
+        seen_externals: set[str] = set()
+        for member in node.members:
+            work += max(estimates[member.name].eval_seconds - self.overhead,
+                        0.0)
+            for input_name in member.inputs:
+                if input_name in estimates:
+                    card = estimates[input_name].cardinality
+                else:
+                    card = 0.0
+                if input_name in member_names:
+                    work -= self.per_input_row * card  # inlined as a CTE
+                elif input_name in seen_externals:
+                    work -= self.per_input_row * card  # materialized once
+                else:
+                    seen_externals.add(input_name)
+        cardinality = sum(estimates[member.name].cardinality
+                          for member in node.members)
+        row_bytes = max(estimates[member.name].row_bytes
+                        for member in node.members)
+        return NodeEstimate(cardinality, row_bytes,
+                            self.overhead + max(work, 0.0))
+
+    # ------------------------------------------------------------------
+    def _estimate_query(self, query: Query,
+                        estimates: dict[str, NodeEstimate]) -> NodeEstimate:
+        cards: dict[str, float] = {}
+        distincts: dict[str, dict[str, float]] = {}
+        widths: dict[str, float] = {}
+        base_stats: dict[str, object] = {}
+        for item in query.from_items:
+            if isinstance(item, BaseTable):
+                table_stats = self.stats.table(item.source, item.relation)
+                cards[item.alias] = max(1.0, table_stats.cardinality)
+                distincts[item.alias] = {
+                    column: table_stats.distinct_count(column)
+                    for column in table_stats.distinct}
+                widths[item.alias] = table_stats.avg_row_bytes
+                base_stats[item.alias] = table_stats
+            elif isinstance(item, TempTable):
+                producer = estimates.get(item.producer)
+                if producer is None:
+                    raise PlanError(
+                        f"estimating a query before its input "
+                        f"{item.producer!r}")
+                cards[item.alias] = max(1.0, producer.cardinality)
+                distincts[item.alias] = dict(producer.distinct)
+                widths[item.alias] = producer.row_bytes
+            else:
+                assert isinstance(item, SetParamTable)
+                cards[item.alias] = 100.0  # unresolved set parameter
+                distincts[item.alias] = {}
+                widths[item.alias] = 3 * DEFAULT_COLUMN_BYTES
+
+        def distinct_of(ref: ColumnRef) -> float:
+            return max(1.0, distincts.get(ref.table, {}).get(
+                ref.column, cards.get(ref.table, 100.0)))
+
+        cardinality = 1.0
+        for alias_card in cards.values():
+            cardinality *= alias_card
+        input_rows = sum(cards.values())
+
+        for predicate in query.where:
+            if isinstance(predicate, Comparison) and predicate.op == "=":
+                left, right = predicate.left, predicate.right
+                if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+                    if left.table != right.table:
+                        cardinality /= max(distinct_of(left),
+                                           distinct_of(right))
+                    else:
+                        cardinality *= 0.1
+                elif isinstance(left, ColumnRef):
+                    cardinality *= self._equality_selectivity(
+                        left, right, base_stats, distinct_of)
+                elif isinstance(right, ColumnRef):
+                    cardinality *= self._equality_selectivity(
+                        right, left, base_stats, distinct_of)
+            elif isinstance(predicate, Comparison):
+                cardinality *= 0.3  # range predicate heuristic
+            else:
+                assert isinstance(predicate, InSet)
+                cardinality *= 0.5
+        cardinality = max(cardinality, 0.0)
+
+        output_distinct: dict[str, float] = {}
+        row_bytes = 2.0
+        for item in query.select:
+            if isinstance(item.expr, ColumnRef):
+                output_distinct[item.alias] = min(distinct_of(item.expr),
+                                                  max(cardinality, 1.0))
+            else:
+                output_distinct[item.alias] = 1.0
+            row_bytes += DEFAULT_COLUMN_BYTES
+        if query.distinct:
+            bound = 1.0
+            for value in output_distinct.values():
+                bound *= value
+            cardinality = min(cardinality, bound)
+
+        eval_seconds = (self.overhead
+                        + self.per_input_row * input_rows
+                        + self.per_output_row * cardinality)
+        return NodeEstimate(cardinality, row_bytes, eval_seconds,
+                            output_distinct)
+
+    def _equality_selectivity(self, column: ColumnRef, other,
+                              base_stats: dict, distinct_of) -> float:
+        """Selectivity of ``column = <constant/param>``.
+
+        Known constants consult the MCV statistics when present (a popular
+        value selects far more rows than 1/V); parameters, whose value is
+        unknown at planning time, keep the uniform assumption.
+        """
+        stats = base_stats.get(column.table)
+        if isinstance(other, Literal) and stats is not None:
+            return stats.equality_selectivity(column.column, other.value)
+        return 1.0 / distinct_of(column)
+
+    def _estimate_raw(self, node,
+                      estimates: dict[str, NodeEstimate]) -> NodeEstimate:
+        """Collect/guard nodes: union of inputs / tiny check output."""
+        input_cards = [estimates[name].cardinality for name in node.inputs
+                       if name in estimates]
+        total = sum(input_cards) if input_cards else 1.0
+        if node.kind == "guard":
+            cardinality = 1.0
+        else:
+            cardinality = total
+        row_bytes = 2.0 + DEFAULT_COLUMN_BYTES * max(
+            len(node.output_columns), 1)
+        eval_seconds = (self.overhead / 5  # mediator-local, no round trip
+                        + self.per_input_row * total
+                        + self.per_output_row * cardinality)
+        return NodeEstimate(cardinality, row_bytes, eval_seconds)
+
+
+# ----------------------------------------------------------------------
+# plan cost: comp_time and cost(P)
+# ----------------------------------------------------------------------
+def plan_cost(graph, plan, estimates: dict[str, NodeEstimate],
+              network: Network) -> float:
+    """The paper's ``cost(P)``: response time of an execution plan.
+
+    ``plan`` maps each source to its ordered query sequence (node names).
+    Every node's output additionally ships to the mediator when the tagging
+    phase needs it (``ship_to_mediator``), and that final transfer is part
+    of the response time.
+    """
+    completion: dict[str, float] = {}
+    position: dict[str, tuple[str, int]] = {}
+    for source, sequence in plan.items():
+        for index, name in enumerate(sequence):
+            position[name] = (source, index)
+
+    ordered = graph.topological_order()
+    # Iterate until fixed: a node is computable when its deps and its
+    # same-source predecessor are done.  Scheduling consistency with the
+    # graph is required, so a single pass in a merged order suffices.
+    pending = {node.name: node for node in ordered}
+    progressed = True
+    while pending and progressed:
+        progressed = False
+        for name in list(pending):
+            node = pending[name]
+            source, index = position[name]
+            if index > 0:
+                predecessor = plan[source][index - 1]
+                if predecessor in pending:
+                    continue
+            if any(producer in pending
+                   for producer in graph.producer_names(node)):
+                continue
+            start = 0.0
+            if index > 0:
+                start = completion[plan[source][index - 1]]
+            # Arrival of each input: the producing (possibly merged) node's
+            # completion plus shipping of the consumer's slice.
+            for input_name in node.inputs:
+                producer_name = graph.resolve(input_name)
+                if producer_name == node.name:
+                    continue
+                producer = graph.nodes[producer_name]
+                slice_bytes = estimates[input_name].size_bytes \
+                    if input_name in estimates \
+                    else estimates[producer_name].size_bytes
+                arrival = completion[producer_name] + network.trans_cost(
+                    producer.source, node.source, slice_bytes)
+                start = max(start, arrival)
+            completion[name] = start + estimates[name].eval_seconds
+            del pending[name]
+            progressed = True
+    if pending:
+        raise PlanError(f"plan is inconsistent with the dependency graph; "
+                        f"stuck on {sorted(pending)}")
+
+    response = 0.0
+    for node in ordered:
+        finish = completion[node.name]
+        if node.ship_to_mediator and node.source != MEDIATOR_NAME:
+            finish += network.trans_cost(
+                node.source, MEDIATOR_NAME,
+                estimates[node.name].size_bytes)
+        response = max(response, finish)
+    return response
+
+

@@ -1,0 +1,64 @@
+"""Simulated network between the mediator and the data sources.
+
+Implements the paper's communication-cost function ``trans_cost(S1, S2, B)``:
+zero when ``S1 == S2``; otherwise the data travels source -> mediator ->
+source, i.e. two hops unless one endpoint *is* the mediator.  Each hop costs
+``latency + bytes / bandwidth``.  Bandwidths may be overridden per link; the
+paper's Figure 10 uses a uniform 1 Mbps.
+"""
+
+from __future__ import annotations
+
+from repro.relational.source import MEDIATOR_NAME
+
+#: 1 Mbps expressed in bytes/second (the paper quotes bandwidth in bits).
+MBPS = 1_000_000 / 8
+
+
+class Network:
+    """Topology + cost model for shipping data between sources."""
+
+    def __init__(self, bandwidth_bytes_per_s: float = MBPS,
+                 latency_seconds: float = 0.01,
+                 link_bandwidths: dict[tuple[str, str], float] | None = None):
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth = bandwidth_bytes_per_s
+        self.latency = latency_seconds
+        self.link_bandwidths = dict(link_bandwidths or {})
+
+    @classmethod
+    def mbps(cls, megabits_per_second: float,
+             latency_seconds: float = 0.01) -> "Network":
+        """Construct from a bandwidth in megabits/second (paper's unit)."""
+        return cls(megabits_per_second * MBPS, latency_seconds)
+
+    def _hop_bandwidth(self, source: str, target: str) -> float:
+        key = (source, target)
+        if key in self.link_bandwidths:
+            return self.link_bandwidths[key]
+        return self.link_bandwidths.get((target, source), self.bandwidth)
+
+    def _hop_cost(self, source: str, target: str, nbytes: float) -> float:
+        return self.latency + nbytes / self._hop_bandwidth(source, target)
+
+    def trans_cost(self, source: str, target: str, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` from ``source`` to ``target``.
+
+        Matches Section 5.2: same source -> 0; neither endpoint the mediator
+        -> routed via the mediator (two hops).
+        """
+        if source == target:
+            return 0.0
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        if source == MEDIATOR_NAME or target == MEDIATOR_NAME:
+            return self._hop_cost(source, target, nbytes)
+        return (self._hop_cost(source, MEDIATOR_NAME, nbytes)
+                + self._hop_cost(MEDIATOR_NAME, target, nbytes))
+
+    def __repr__(self) -> str:
+        mbps_value = self.bandwidth / MBPS
+        return f"Network({mbps_value:g} Mbps, latency={self.latency:g}s)"

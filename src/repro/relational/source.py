@@ -1,0 +1,253 @@
+"""Data sources backed by ``sqlite3``.
+
+Each :class:`DataSource` owns an independent SQLite database — the stand-in
+for the paper's per-site DB2 instances (see DESIGN.md, substitutions).  The
+interface mirrors what the middleware needs: execute a query, create and
+populate a temporary table with shipped inputs, and expose timing so measured
+evaluation costs can feed the cost model.  The :class:`Mediator` is itself a
+source (the paper treats it as "a special data source Mediator") where query
+results are cached and synthesized-attribute computations run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import time
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.relational.schema import SourceSchema
+
+#: Reserved name of the mediator pseudo-source.
+MEDIATOR_NAME = "Mediator"
+
+_shared_memory_counter = itertools.count(1)
+
+
+@dataclass
+class ResultSet:
+    """Columns + rows of a query result (rows are plain tuples)."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise EvaluationError(
+                f"result has no column {name!r} (has {self.columns})") from None
+
+    def column(self, name: str) -> list:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def project(self, names: list[str]) -> "ResultSet":
+        indexes = [self.column_index(n) for n in names]
+        return ResultSet(list(names),
+                         [tuple(row[i] for i in indexes) for row in self.rows])
+
+    def width_bytes(self) -> int:
+        """Actual serialized size estimate (used for communication costs)."""
+        total = 0
+        for row in self.rows:
+            for value in row:
+                if value is None:
+                    total += 1
+                elif isinstance(value, (int, float)):
+                    total += 8
+                else:
+                    total += len(str(value))
+            total += 2 * len(row)  # separators / framing
+        return total
+
+
+class DataSource:
+    """One logical relational source (its own SQLite database).
+
+    ``schema`` describes the base relations; temp tables for shipped inputs
+    are created on demand and live beside them.  All execution is instrumented:
+    ``last_execution_seconds`` holds the wall-clock time of the most recent
+    ``execute`` call, and ``total_queries``/``total_seconds`` accumulate.
+    """
+
+    def __init__(self, schema: SourceSchema, path: str | None = None):
+        self.schema = schema
+        self.name = schema.source
+        if path is None:
+            # A named shared-cache in-memory database: other connections in
+            # this process (the Federation) can ATTACH it by URI.
+            self.uri = (f"file:repro_{schema.source}_"
+                        f"{next(_shared_memory_counter)}"
+                        f"?mode=memory&cache=shared")
+        else:
+            self.uri = f"file:{path}"
+        # Autocommit (isolation_level=None): shared-cache readers must not
+        # hold transactions open, or cross-connection access deadlocks.
+        self.connection = sqlite3.connect(self.uri, uri=True,
+                                          isolation_level=None)
+        self.connection.execute("PRAGMA synchronous=OFF")
+        self.last_execution_seconds = 0.0
+        self.total_queries = 0
+        self.total_seconds = 0.0
+        self._temp_counter = 0
+        self._create_base_tables()
+
+    def _create_base_tables(self) -> None:
+        for relation_schema in self.schema.relations:
+            self.connection.execute(relation_schema.create_table_sql())
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_rows(self, relation_name: str, rows: list[tuple]) -> None:
+        """Bulk-insert rows into a base relation."""
+        relation_schema = self.schema.relation_schema(relation_name)
+        placeholders = ", ".join("?" * len(relation_schema.columns))
+        self.connection.executemany(
+            f"INSERT INTO {relation_name} VALUES ({placeholders})", rows)
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: tuple = ()) -> ResultSet:
+        """Run a SELECT, returning a ResultSet; timing is recorded."""
+        start = time.perf_counter()
+        try:
+            cursor = self.connection.execute(sql, params)
+            rows = cursor.fetchall()
+        except sqlite3.Error as error:
+            raise EvaluationError(
+                f"source {self.name!r}: SQL failed: {error}\n  {sql}") from error
+        elapsed = time.perf_counter() - start
+        columns = ([description[0] for description in cursor.description]
+                   if cursor.description else [])
+        self.last_execution_seconds = elapsed
+        self.total_queries += 1
+        self.total_seconds += elapsed
+        return ResultSet(columns, rows)
+
+    def execute_script(self, sql: str) -> None:
+        self.connection.executescript(sql)
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # shipped inputs
+    # ------------------------------------------------------------------
+    def create_temp_table(self, columns: list[str], rows: list[tuple],
+                          name: str | None = None) -> str:
+        """Materialize shipped tuples as a temp table; returns its name.
+
+        This is the landing step of the paper's "results are then shipped
+        (via the mediator) to every dependent site".
+        """
+        if name is None:
+            self._temp_counter += 1
+            name = f"__ship_{self._temp_counter}"
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+        self.connection.execute(f'CREATE TABLE "{name}" ({quoted})')
+        if rows:
+            placeholders = ", ".join("?" * len(columns))
+            self.connection.executemany(
+                f'INSERT INTO "{name}" VALUES ({placeholders})', rows)
+        self.connection.commit()
+        return name
+
+    def drop_table(self, name: str) -> None:
+        self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+        self.connection.commit()
+
+    def table_names(self) -> list[str]:
+        result = self.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name")
+        return [row[0] for row in result.rows]
+
+    def row_count(self, table: str) -> int:
+        return self.execute(f'SELECT COUNT(*) FROM "{table}"').rows[0][0]
+
+    def reset_metrics(self) -> None:
+        self.last_execution_seconds = 0.0
+        self.total_queries = 0
+        self.total_seconds = 0.0
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __repr__(self) -> str:
+        return f"DataSource({self.name!r})"
+
+
+class Mediator(DataSource):
+    """The middleware's own cache/compute engine.
+
+    The paper's prototype did middleware processing in application code and
+    suggested adding "a relational query-processor on the middleware" as a
+    simple extension; we take that extension (an SQLite engine) so that
+    synthesized-attribute collection and guard checks are plain SQL.
+    """
+
+    def __init__(self):
+        super().__init__(SourceSchema(MEDIATOR_NAME, ()))
+
+    def cache_result(self, table_name: str, result: ResultSet) -> str:
+        """Cache a shipped query output under ``table_name``."""
+        return self.create_temp_table(result.columns, result.rows, table_name)
+
+
+class Federation:
+    """A single connection with every source ATTACHed under its own name.
+
+    Used by the *conceptual* evaluator (Section 3.2), which executes
+    multi-source queries directly — the paper's semantics does not care where
+    tables live.  Qualified names render as ``"DB1"."patient"``.  The
+    optimized pipeline never uses this; it runs decomposed single-source
+    queries at the individual sources, which is what the equality tests
+    between the two evaluation paths exercise.
+    """
+
+    def __init__(self, sources: list[DataSource]):
+        self.sources = {source.name: source for source in sources}
+        self.connection = sqlite3.connect(":memory:", isolation_level=None)
+        self.connection.execute("PRAGMA read_uncommitted=ON")
+        for source in sources:
+            self.connection.execute(
+                "ATTACH DATABASE ? AS " + f'"{source.name}"', (source.uri,))
+
+    def execute(self, sql: str, params: tuple = ()) -> ResultSet:
+        try:
+            cursor = self.connection.execute(sql, params)
+            rows = cursor.fetchall()
+        except sqlite3.Error as error:
+            raise EvaluationError(
+                f"federation: SQL failed: {error}\n  {sql}") from error
+        columns = ([description[0] for description in cursor.description]
+                   if cursor.description else [])
+        return ResultSet(columns, rows)
+
+    def create_temp_table(self, columns: list[str], rows: list[tuple],
+                          name: str) -> str:
+        """Materialize a set parameter in the federation's main schema."""
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        self.connection.execute(f'DROP TABLE IF EXISTS main."{name}"')
+        self.connection.execute(f'CREATE TABLE main."{name}" ({quoted})')
+        if rows:
+            placeholders = ", ".join("?" * len(columns))
+            self.connection.executemany(
+                f'INSERT INTO main."{name}" VALUES ({placeholders})', rows)
+        return name
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,123 @@
+"""Basic database statistics — the inputs to the costing API.
+
+Section 5.2 assumes every source provides ``eval_cost(Q)`` and ``size(Q)``
+estimates.  Our estimator (:mod:`repro.optimizer.cost`) derives those from
+the per-table statistics collected here: cardinality, per-column distinct
+counts, and average tuple width — exactly the "basic database statistics"
+the paper's run-time plan generation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.source import DataSource
+
+
+@dataclass
+class TableStats:
+    """Statistics for one relation.
+
+    ``most_common`` holds per-column most-common-value lists (value, count)
+    — the optimizer uses them for constant-equality selectivities instead
+    of the uniform 1/V assumption (Section 7's "make use of selectivity
+    estimates within our cost function").
+    """
+
+    cardinality: int
+    distinct: dict[str, int] = field(default_factory=dict)
+    avg_row_bytes: float = 24.0
+    most_common: dict[str, tuple] = field(default_factory=dict)
+
+    def distinct_count(self, column: str) -> int:
+        """Distinct values in ``column`` (falls back to cardinality)."""
+        value = self.distinct.get(column, self.cardinality)
+        return max(1, value)
+
+    def equality_selectivity(self, column: str, value) -> float:
+        """Fraction of rows with ``column = value``.
+
+        With MCV statistics: the exact fraction for a most-common value,
+        and the residual mass spread over the remaining distinct values
+        otherwise; without them, the uniform ``1 / V(column)``.
+        """
+        if self.cardinality <= 0:
+            return 0.0
+        mcvs = self.most_common.get(column)
+        if not mcvs:
+            return 1.0 / self.distinct_count(column)
+        as_text = None if value is None else str(value)
+        for mcv_value, count in mcvs:
+            if mcv_value == as_text or mcv_value == value:
+                return count / self.cardinality
+        mcv_mass = sum(count for _, count in mcvs)
+        remaining_rows = max(self.cardinality - mcv_mass, 0)
+        remaining_distinct = max(self.distinct_count(column) - len(mcvs), 1)
+        return (remaining_rows / remaining_distinct) / self.cardinality
+
+
+def collect_stats(source: DataSource,
+                  mcv_count: int = 3) -> dict[str, TableStats]:
+    """Scan every base relation of ``source`` and compute its statistics.
+
+    ``mcv_count`` most-common values are gathered per column (0 disables).
+    """
+    stats: dict[str, TableStats] = {}
+    for relation_schema in source.schema.relations:
+        name = relation_schema.name
+        cardinality = source.row_count(name)
+        distinct: dict[str, int] = {}
+        most_common: dict[str, tuple] = {}
+        total_bytes = 0
+        for column in relation_schema.column_names:
+            result = source.execute(
+                f'SELECT COUNT(DISTINCT "{column}") FROM "{name}"')
+            distinct[column] = result.rows[0][0]
+            width = source.execute(
+                f'SELECT COALESCE(AVG(LENGTH(CAST("{column}" AS TEXT))), 0) '
+                f'FROM "{name}"')
+            total_bytes += width.rows[0][0] or 0
+            if mcv_count and cardinality and \
+                    distinct[column] < cardinality:
+                top = source.execute(
+                    f'SELECT CAST("{column}" AS TEXT), COUNT(*) '
+                    f'FROM "{name}" GROUP BY "{column}" '
+                    f'ORDER BY COUNT(*) DESC, "{column}" '
+                    f'LIMIT {int(mcv_count)}')
+                most_common[column] = tuple(top.rows)
+        avg_row = (total_bytes + 2 * len(relation_schema.columns)
+                   if cardinality else 24.0)
+        stats[name] = TableStats(cardinality, distinct, float(avg_row),
+                                 most_common)
+    return stats
+
+
+class StatisticsCatalog:
+    """Statistics for all sources, addressable as ``source:relation``."""
+
+    def __init__(self):
+        self._stats: dict[str, dict[str, TableStats]] = {}
+
+    def add_source(self, source: DataSource) -> None:
+        self._stats[source.name] = collect_stats(source)
+
+    def set_stats(self, source_name: str, relation_name: str,
+                  stats: TableStats) -> None:
+        self._stats.setdefault(source_name, {})[relation_name] = stats
+
+    def table(self, source_name: str, relation_name: str) -> TableStats:
+        by_relation = self._stats.get(source_name, {})
+        if relation_name in by_relation:
+            return by_relation[relation_name]
+        # Unknown table: a neutral default keeps estimation total.
+        return TableStats(cardinality=1000)
+
+    def has(self, source_name: str, relation_name: str) -> bool:
+        return relation_name in self._stats.get(source_name, {})
+
+    @classmethod
+    def from_sources(cls, sources: list[DataSource]) -> "StatisticsCatalog":
+        catalog = cls()
+        for source in sources:
+            catalog.add_source(source)
+        return catalog

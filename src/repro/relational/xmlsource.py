@@ -1,0 +1,122 @@
+"""XML documents as data sources.
+
+Section 3.1: "We restrict data sources to be relational just to simplify
+the discussion.  The same framework can be extended to integrate
+object-oriented, XML and other formats of data, by expressing queries in,
+e.g., OQL or fragments of XQuery."
+
+This module takes the XPERANTO-style route: an XML document is *shredded*
+into relations (one per declared element pattern, one row per matching
+element, one column per string subelement — plus optional node/parent id
+columns for joining hierarchy), and the result is exposed as an ordinary
+:class:`~repro.relational.source.DataSource`.  Every AIG facility —
+multi-source queries, decomposition, merging, statistics — then works over
+XML data unchanged, which is precisely the substitution DESIGN.md documents
+for the paper's XQuery-fragment suggestion.
+
+Example::
+
+    specs = {
+        "policy": shred_spec("policy", ["pid", "kind", "deductible"]),
+        "clause": shred_spec("clause", ["text"], parent="policy"),
+    }
+    source = xml_source("POL", document, specs)
+    # -> SELECT p.kind FROM POL:policy p WHERE p.pid = $policy
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+from repro.relational.schema import Column, RelationSchema, SourceSchema
+from repro.relational.source import DataSource
+from repro.xmlmodel.node import XMLElement
+from repro.xmlmodel.serialize import parse_xml
+
+#: Hidden columns exposing document structure for hierarchy joins.
+NODE_ID = "node_id"
+PARENT_ID = "parent_id"
+
+
+@dataclass(frozen=True)
+class ShredSpec:
+    """How one relation is extracted from a document.
+
+    ``tag`` selects the elements (one row each, document order); ``fields``
+    are string-subelement tags mapped to like-named TEXT columns (missing
+    subelements yield NULL).  With ``parent`` set, the relation additionally
+    carries ``node_id``/``parent_id`` columns, where ``parent_id`` is the
+    ``node_id`` of the nearest enclosing ``parent``-tagged element — the
+    relational image of the document hierarchy.
+    """
+
+    tag: str
+    fields: tuple[str, ...]
+    parent: str | None = None
+
+    def __post_init__(self):
+        if not self.fields:
+            raise SpecError(f"shred spec for {self.tag!r} needs fields")
+        if len(set(self.fields)) != len(self.fields):
+            raise SpecError(f"shred spec for {self.tag!r} has duplicate "
+                            f"fields")
+        reserved = {NODE_ID, PARENT_ID} & set(self.fields)
+        if reserved:
+            raise SpecError(f"shred spec fields may not use reserved names "
+                            f"{sorted(reserved)}")
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        extra = ((Column(NODE_ID, "INTEGER"), Column(PARENT_ID, "INTEGER"))
+                 if self.parent else ())
+        return extra + tuple(Column(f) for f in self.fields)
+
+
+def shred_spec(tag: str, fields, parent: str | None = None) -> ShredSpec:
+    """Convenience constructor accepting any field iterable."""
+    return ShredSpec(tag, tuple(fields), parent)
+
+
+def shred(document: XMLElement,
+          specs: dict[str, ShredSpec]) -> dict[str, list[tuple]]:
+    """Extract the declared relations from a document."""
+    node_ids: dict[int, int] = {}
+    for index, node in enumerate(document.iter(), start=1):
+        node_ids[id(node)] = index
+
+    def enclosing(node: XMLElement, tag: str) -> int | None:
+        current = node.parent
+        while current is not None:
+            if current.tag == tag:
+                return node_ids[id(current)]
+            current = current.parent
+        return None
+
+    tables: dict[str, list[tuple]] = {name: [] for name in specs}
+    for name, spec in specs.items():
+        for node in document.iter(spec.tag):
+            values = tuple(node.subelement_value(f) for f in spec.fields)
+            if spec.parent:
+                row = (node_ids[id(node)], enclosing(node, spec.parent),
+                       *values)
+            else:
+                row = values
+            tables[name].append(row)
+    return tables
+
+
+def xml_source(source_name: str, document: XMLElement | str,
+               specs: dict[str, ShredSpec]) -> DataSource:
+    """Shred a document (tree or XML text) into a queryable DataSource."""
+    if isinstance(document, str):
+        document = parse_xml(document)
+    if not specs:
+        raise SpecError("xml_source needs at least one shred spec")
+    relations = tuple(
+        RelationSchema(name, spec.columns)
+        for name, spec in specs.items())
+    source = DataSource(SourceSchema(source_name, relations))
+    for name, rows in shred(document, specs).items():
+        source.load_rows(name, rows)
+    return source

@@ -1,0 +1,24 @@
+"""Optimized evaluation runtime: the middleware's execution and tagging
+phases (Sections 5.1, 5.5).
+
+* :mod:`repro.runtime.recursion` — unfold a recursive AIG to an estimated
+  depth; detect at runtime whether the unfolding sufficed and extend it.
+* :mod:`repro.runtime.engine` — execute an optimized plan: per-source query
+  sequences, temp-table shipping through the mediator, and a simulated clock
+  that prices communication with the :class:`~repro.relational.network.
+  Network` model.
+* :mod:`repro.runtime.tagging` — the tagging plan: sort-merge the cached
+  output relations into the final XML tree, erase internal states and
+  unfolding suffixes, check guards.
+* :mod:`repro.runtime.middleware` — the facade: AIG in, document out.
+"""
+
+from repro.runtime.recursion import unfold_aig, strip_unfolding
+from repro.runtime.middleware import Middleware, ExecutionReport
+
+__all__ = [
+    "unfold_aig",
+    "strip_unfolding",
+    "Middleware",
+    "ExecutionReport",
+]

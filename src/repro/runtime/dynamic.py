@@ -1,0 +1,54 @@
+"""Dynamic scheduling (Section 5.5 / future work in Section 7).
+
+"The algorithm described here made use of static query schedules for
+simplicity — significant efficiency gains can accrue from using dynamic
+scheduling, in which a runtime scheduler updates the query plans for each
+site in parallel with evaluation."
+
+:class:`DynamicScheduler` implements that extension: instead of fixing each
+source's query order at compile time, it re-ranks the *ready* queries after
+every completion, replacing the optimizer's estimates with the actual
+cardinalities and byte sizes of already-produced tables.  ℓevel priorities
+are recomputed on the updated estimates, so a query whose inputs turned out
+larger than predicted is promoted (its critical path grew) and one whose
+inputs collapsed is demoted.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.cost import NodeEstimate
+from repro.optimizer.schedule import levels
+from repro.relational.network import Network
+
+
+class DynamicScheduler:
+    """Ranks ready nodes using estimates refreshed with actual outputs."""
+
+    def __init__(self, graph, estimates: dict[str, NodeEstimate],
+                 network: Network):
+        self.graph = graph
+        self.network = network
+        self.estimates = dict(estimates)
+        self._priority = levels(graph, self.estimates, network)
+
+    def observe(self, node_name: str, actual_rows: int,
+                actual_bytes: int, actual_eval_seconds: float) -> None:
+        """Replace a completed node's estimate with its measured output and
+        recompute priorities (the "runtime scheduler updates the plans")."""
+        old = self.estimates.get(node_name)
+        row_bytes = (actual_bytes / actual_rows) if actual_rows else (
+            old.row_bytes if old else 8.0)
+        self.estimates[node_name] = NodeEstimate(
+            cardinality=float(actual_rows),
+            row_bytes=row_bytes,
+            eval_seconds=actual_eval_seconds,
+            distinct=dict(old.distinct) if old else {})
+        self._priority = levels(self.graph, self.estimates, self.network)
+
+    def pick(self, ready_names: list[str]) -> str:
+        """The ready node with the highest current ℓevel priority."""
+        return max(ready_names,
+                   key=lambda name: (self._priority.get(name, 0.0), name))
+
+    def priority(self, name: str) -> float:
+        return self._priority.get(name, 0.0)

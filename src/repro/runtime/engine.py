@@ -1,0 +1,441 @@
+"""The execution phase (Section 5.1): run an optimized plan.
+
+The engine walks the execution plan source by source: a query runs as soon
+as its inputs are available and its predecessor on the same source has
+finished; its output is cached at the mediator (every result ships there —
+the mediator is the router and the tagging phase's data store) and shipped
+on to dependent sources as needed.  Queries execute for real against the
+per-source SQLite databases; communication is priced by the
+:class:`~repro.relational.network.Network` simulator using the *actual*
+byte sizes of the shipped tables, and the reported response time combines
+measured evaluation times with simulated transfer times on the paper's
+``comp_time`` recursion.
+
+Merged nodes (Algorithm Merge) render as a single statement — CTEs for the
+members in dependency order, outer-unioned with a ``__tag`` discriminator —
+and the result is split back into per-member cached tables, so consumers and
+the tagging phase are oblivious to merging.
+
+Guard nodes run at the mediator; a non-empty guard result aborts the run
+with :class:`~repro.errors.EvaluationAborted`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationAborted, EvaluationError, PlanError
+from repro.relational.network import Network
+from repro.relational.source import (
+    DataSource,
+    MEDIATOR_NAME,
+    Mediator,
+    ResultSet,
+)
+from repro.sqlq.analyze import temp_inputs
+from repro.sqlq.render import render_sqlite
+
+#: Hidden row-identity column appended to every cached table.
+ID_COLUMN = "__id"
+
+
+@dataclass
+class NodeTiming:
+    """Timing record for one executed node."""
+
+    name: str
+    source: str
+    eval_seconds: float           # measured SQLite execution time
+    completion: float             # simulated completion on the clock
+    output_rows: int
+    output_bytes: int
+
+
+@dataclass
+class EngineResult:
+    """Everything the execution phase produced."""
+
+    cache: dict[str, ResultSet]            # node name -> cached output
+    timings: dict[str, NodeTiming]
+    response_time: float                   # simulated total (Section 5.2)
+    measured_seconds: float                # wall clock actually spent
+    queries_executed: int = 0
+    bytes_shipped: int = 0
+    violations: list = field(default_factory=list)
+
+
+class Engine:
+    """Executes a query dependency graph under an execution plan."""
+
+    def __init__(self, graph, plan: dict, sources: dict[str, DataSource],
+                 network: Network, mediator: Mediator | None = None,
+                 query_overhead: float | None = None,
+                 mediator_overhead: float = 0.01,
+                 per_input_row_seconds: float | None = None,
+                 per_output_row_seconds: float | None = None,
+                 dynamic_scheduler=None,
+                 violation_mode: str = "abort"):
+        from repro.optimizer.cost import (PER_INPUT_ROW, PER_OUTPUT_ROW,
+                                          QUERY_OVERHEAD)
+        self.graph = graph
+        self.plan = plan
+        self.sources = dict(sources)
+        self.mediator = mediator or Mediator()
+        self.sources[MEDIATOR_NAME] = self.mediator
+        self.network = network
+        # The simulated clock combines the measured SQLite time with modeled
+        # per-query costs of the paper's distributed deployment, computed
+        # from *actual* row counts: dispatch overhead ("opening a connection,
+        # parsing and preparing the statement"), input temp-table population
+        # ("temporary tables may have to be created and populated with
+        # inputs"), and result fetching.  Local SQLite has none of these, so
+        # without them the 1 Mbps network would be the only cost and merging
+        # could show no evaluation-side benefit.  Mediator-resident work
+        # pays only a small statement overhead (no network dispatch).
+        self.query_overhead = (QUERY_OVERHEAD if query_overhead is None
+                               else query_overhead)
+        self.mediator_overhead = mediator_overhead
+        self.per_input_row = (PER_INPUT_ROW if per_input_row_seconds is None
+                              else per_input_row_seconds)
+        self.per_output_row = (PER_OUTPUT_ROW
+                               if per_output_row_seconds is None
+                               else per_output_row_seconds)
+        #: When set (see repro.runtime.dynamic), the static per-source order
+        #: of ``plan`` is ignored: after every completion the scheduler
+        #: re-ranks the ready queries using actual output sizes.
+        self.dynamic_scheduler = dynamic_scheduler
+        if violation_mode not in ("abort", "report"):
+            raise PlanError(f"violation_mode must be 'abort' or 'report', "
+                            f"got {violation_mode!r}")
+        self.violation_mode = violation_mode
+        self._physical: dict[str, str] = {}
+        self._physical_counter = 0
+        self._last_rows_materialized = 0
+
+    # ------------------------------------------------------------------
+    def run(self, root_inh: dict) -> EngineResult:
+        started = time.perf_counter()
+        cache: dict[str, ResultSet] = {}
+        timings: dict[str, NodeTiming] = {}
+        completion: dict[str, float] = {}
+        source_ready: dict[str, float] = {}
+        bytes_shipped = 0
+        queries = 0
+        violations: list = []
+
+        position: dict[str, tuple[str, int]] = {}
+        if self.dynamic_scheduler is None:
+            for source_name, sequence in self.plan.items():
+                for index, node_name in enumerate(sequence):
+                    position[node_name] = (source_name, index)
+            for node_name in self.graph.nodes:
+                if node_name not in position:
+                    raise PlanError(
+                        f"plan does not schedule node {node_name!r}")
+
+        pending = dict(self.graph.nodes)
+        while pending:
+            progressed = False
+            for name in self._execution_candidates(pending, position):
+                node = pending[name]
+                source_name = node.source
+                if self.dynamic_scheduler is None:
+                    source_name, index = position[name]
+                    if index > 0 and \
+                            self.plan[source_name][index - 1] in pending:
+                        continue
+                producers = self.graph.producer_names(node)
+                if any(producer in pending for producer in producers):
+                    continue
+                # --- simulated start time -----------------------------
+                start = source_ready.get(source_name, 0.0)
+                for input_name in node.inputs:
+                    producer_name = self.graph.resolve(input_name)
+                    if producer_name == name:
+                        continue
+                    producer = self.graph.nodes[producer_name]
+                    slice_bytes = cache[input_name].width_bytes() \
+                        if input_name in cache else 0
+                    transfer = self.network.trans_cost(
+                        producer.source, node.source, slice_bytes)
+                    if producer.source != node.source:
+                        bytes_shipped += slice_bytes
+                    start = max(start,
+                                completion[producer_name] + transfer)
+                # --- actual execution ---------------------------------
+                self._last_rows_materialized = 0
+                eval_seconds, outputs = self._execute(node, cache, root_inh)
+                queries += 1
+                for out_name, result in outputs.items():
+                    cache[out_name] = result
+                if node.source == MEDIATOR_NAME:
+                    modeled = self.mediator_overhead
+                else:
+                    output_rows = sum(len(r) for r in outputs.values())
+                    modeled = (self.query_overhead
+                               + self.per_input_row
+                               * self._last_rows_materialized
+                               + self.per_output_row * output_rows)
+                finish = start + eval_seconds + modeled
+                completion[name] = finish
+                source_ready[source_name] = finish
+                primary = outputs.get(name)
+                output_row_count = sum(len(r) for r in outputs.values())
+                output_byte_count = sum(r.width_bytes()
+                                        for r in outputs.values())
+                timings[name] = NodeTiming(
+                    name, node.source, eval_seconds, finish,
+                    output_row_count, output_byte_count)
+                if self.dynamic_scheduler is not None:
+                    self.dynamic_scheduler.observe(
+                        name, output_row_count, output_byte_count,
+                        eval_seconds + modeled)
+                if node.kind == "guard" and primary is not None \
+                        and len(primary):
+                    if self.violation_mode == "abort":
+                        raise EvaluationAborted([node.guard.constraint])
+                    violations.append(node.guard.constraint)
+                del pending[name]
+                progressed = True
+                if self.dynamic_scheduler is not None:
+                    break  # re-rank the ready set after every completion
+            if not progressed:
+                raise PlanError(
+                    f"execution stuck; pending nodes {sorted(pending)}")
+
+        # Final shipment of tagging-relevant outputs to the mediator.
+        response = 0.0
+        for name, node in self.graph.nodes.items():
+            finish = completion[name]
+            if node.ship_to_mediator and node.source != MEDIATOR_NAME:
+                shipped = sum(
+                    cache[member].width_bytes()
+                    for member in self._member_names(node) if member in cache)
+                finish += self.network.trans_cost(node.source, MEDIATOR_NAME,
+                                                  shipped)
+                bytes_shipped += shipped
+            response = max(response, finish)
+
+        return EngineResult(cache=cache, timings=timings,
+                            response_time=response,
+                            measured_seconds=time.perf_counter() - started,
+                            queries_executed=queries,
+                            bytes_shipped=bytes_shipped,
+                            violations=violations)
+
+    # ------------------------------------------------------------------
+    def _execution_candidates(self, pending: dict,
+                              position: dict) -> list[str]:
+        """Node names to try this round, in selection order.
+
+        Static mode preserves the plan's per-source sequences (iteration
+        order is immaterial because the position check gates execution).
+        Dynamic mode ranks the *ready* nodes by the scheduler's current
+        priorities, falling back to the full pending set when nothing is
+        ready yet (the caller detects deadlock).
+        """
+        if self.dynamic_scheduler is None:
+            return list(pending)
+        ready = [name for name, node in pending.items()
+                 if not any(producer in pending
+                            for producer in
+                            self.graph.producer_names(node))]
+        if not ready:
+            return []
+        ordered = sorted(
+            ready, key=lambda name: (-self.dynamic_scheduler.priority(name),
+                                     name))
+        return ordered
+
+    def _member_names(self, node) -> list[str]:
+        members = getattr(node, "members", None)
+        if members:
+            return [member.name for member in members]
+        return [node.name]
+
+    def _execute(self, node, cache: dict[str, ResultSet],
+                 root_inh: dict) -> tuple[float, dict[str, ResultSet]]:
+        """Run one node; returns (measured seconds, outputs per name)."""
+        source = self.sources.get(node.source)
+        if source is None:
+            raise EvaluationError(f"no data source named {node.source!r}")
+        if getattr(node, "members", None):
+            return self._execute_merged(node, source, cache, root_inh)
+        if node.raw_sql is not None:
+            return self._execute_raw(node, source, cache, root_inh)
+        return self._execute_query(node, source, cache, root_inh)
+
+    # -- plain AST queries ---------------------------------------------
+    def _execute_query(self, node, source, cache, root_inh):
+        materialize_started = time.perf_counter()
+        bindings = self._materialize_inputs(node.inputs, source, cache)
+        materialize_seconds = time.perf_counter() - materialize_started
+        scalar_values = {param: root_inh[member]
+                         for param, member in node.root_params.items()}
+        sql, params = render_sqlite(node.query, scalar_values, bindings)
+        result = source.execute(sql, tuple(params))
+        if node.kind == "condition":
+            result = _normalize_condition(result, node.name)
+        output = _with_ids(result)
+        elapsed = source.last_execution_seconds + materialize_seconds
+        return elapsed, {node.name: output}
+
+    # -- mediator raw SQL (collect / guard nodes) ------------------------
+    def _execute_raw(self, node, source, cache, root_inh):
+        sql = node.raw_sql
+        for input_name in node.inputs:
+            physical = self._cache_table(input_name, cache)
+            sql = sql.replace(f"{{{input_name}}}", f'"{physical}"')
+        for member, value in root_inh.items():
+            sql = sql.replace(f"{{root:{member}}}", _sql_literal(value))
+        result = self.mediator.execute(sql)
+        output = _with_ids(result)
+        return self.mediator.last_execution_seconds, {node.name: output}
+
+    # -- merged nodes -----------------------------------------------------
+    def _execute_merged(self, node, source, cache, root_inh):
+        members = self._topo_members(node)
+        external_inputs = [name for name in node.inputs]
+        materialize_started = time.perf_counter()
+        bindings = self._materialize_inputs(external_inputs, source, cache)
+        materialize_seconds = time.perf_counter() - materialize_started
+        member_names = {member.name for member in members}
+        cte_names = {member.name: f"__m{index}"
+                     for index, member in enumerate(members)}
+
+        with_parts: list[str] = []
+        all_params: list[object] = []
+        widths = [len(member.output_columns) for member in members]
+        total_width = max(widths)
+        union_parts: list[str] = []
+        for member in members:
+            member_bindings = dict(bindings)
+            for input_name in member.inputs:
+                if input_name in member_names:
+                    member_bindings[input_name] = cte_names[input_name]
+            scalar_values = {param: root_inh[mem]
+                             for param, mem in member.root_params.items()}
+            sql, params = render_sqlite(member.query, scalar_values,
+                                        member_bindings)
+            # Members that other members inline need the __id path-encoding
+            # column *inside* the statement; assigning it via ROW_NUMBER and
+            # carrying it through the union keeps the cached slices and the
+            # in-statement references consistent.
+            with_parts.append(
+                f"{cte_names[member.name]} AS "
+                f"(SELECT *, ROW_NUMBER() OVER () AS {ID_COLUMN} "
+                f"FROM ({sql}))")
+            all_params.extend(params)
+            columns = [f'"{c}"' for c in member.output_columns]
+            padding = ["NULL"] * (total_width - len(columns))
+            select_list = ", ".join(
+                [f"'{member.name}' AS __tag"] + columns + padding
+                + [f'"{ID_COLUMN}"'])
+            union_parts.append(
+                f"SELECT {select_list} FROM {cte_names[member.name]}")
+        statement = ("WITH " + ", ".join(with_parts) + " "
+                     + " UNION ALL ".join(union_parts))
+        result = source.execute(statement, tuple(all_params))
+        elapsed = source.last_execution_seconds + materialize_seconds
+
+        outputs: dict[str, ResultSet] = {}
+        for member in members:
+            arity = len(member.output_columns)
+            rows = [row[1:arity + 1] + (row[-1],) for row in result.rows
+                    if row[0] == member.name]
+            slice_result = ResultSet(
+                list(member.output_columns) + [ID_COLUMN], rows)
+            if member.kind == "condition":
+                slice_result = _normalize_condition(slice_result,
+                                                    member.name)
+            outputs[member.name] = slice_result
+        # The merged node itself needs a cache entry so bookkeeping works.
+        outputs[node.name] = ResultSet(["__tag"],
+                                       [(m.name,) for m in members])
+        return elapsed, outputs
+
+    def _topo_members(self, node):
+        members = list(node.members)
+        names = {member.name for member in members}
+        ordered = []
+        placed: set[str] = set()
+        while members:
+            for member in members:
+                internal = [i for i in member.inputs if i in names]
+                if all(i in placed for i in internal):
+                    ordered.append(member)
+                    placed.add(member.name)
+                    members.remove(member)
+                    break
+            else:
+                raise PlanError(f"merged node {node.name!r} has a cycle "
+                                f"among members")
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _materialize_inputs(self, input_names, source, cache
+                            ) -> dict[str, str]:
+        """Create local temp tables for a node's inputs; returns bindings."""
+        bindings: dict[str, str] = {}
+        for input_name in input_names:
+            if input_name not in cache:
+                raise PlanError(f"input {input_name!r} not yet available")
+            result = cache[input_name]
+            if source.name == MEDIATOR_NAME:
+                bindings[input_name] = self._cache_table(input_name, cache)
+            else:
+                bindings[input_name] = source.create_temp_table(
+                    result.columns, result.rows)
+                self._last_rows_materialized += len(result)
+        return bindings
+
+    def _cache_table(self, input_name: str, cache) -> str:
+        """The mediator-resident physical table for a cached result."""
+        if input_name not in self._physical:
+            self._physical_counter += 1
+            physical = f"cache_{self._physical_counter}"
+            self.mediator.cache_result(physical, cache[input_name])
+            self._physical[input_name] = physical
+        return self._physical[input_name]
+
+
+def _normalize_condition(result: ResultSet, node_name: str) -> ResultSet:
+    """Coerce a condition node's selector column to int.
+
+    The conceptual semantics reads the selector through ``int(...)``; the
+    optimized pipeline's gating joins compare it to integer literals, so the
+    cached table must hold real integers (SQLite does not coerce TEXT '2' to
+    2 in equality).
+    """
+    if not result.rows:
+        return result
+    normalized = []
+    for row in result.rows:
+        selector = row[0]
+        try:
+            as_int = int(selector)
+        except (TypeError, ValueError):
+            raise EvaluationError(
+                f"condition query {node_name!r} returned non-integer "
+                f"{selector!r}") from None
+        normalized.append((as_int,) + row[1:])
+    return ResultSet(result.columns, normalized)
+
+
+def _with_ids(result: ResultSet) -> ResultSet:
+    """Append the ``__id`` path-encoding column (unique per table)."""
+    if ID_COLUMN in result.columns:
+        return result
+    columns = result.columns + [ID_COLUMN]
+    rows = [row + (index + 1,) for index, row in enumerate(result.rows)]
+    return ResultSet(columns, rows)
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

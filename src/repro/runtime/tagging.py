@@ -1,0 +1,192 @@
+"""The tagging phase (Section 5.1): relations -> XML tree.
+
+Tagging runs entirely at the mediator, over the cached output relations.
+The occurrence tree drives a single top-down construction pass:
+
+* star children materialize one element per table row whose ``__parent``
+  matches the current anchor row (rows sorted canonically, so both
+  evaluation paths produce identical sibling orders);
+* sequence children recurse in production order;
+* choice occurrences consult the condition table for the current anchor row
+  and emit only the selected alternative;
+* text nodes read their PCDATA through the copy-chain provenance computed at
+  compile time (a column of an enclosing anchor row, a root attribute
+  member, or a constant).
+
+Internal-state nodes never enter the tree (decomposition steps are not
+element occurrences), and unfolding suffixes are stripped afterwards by
+:func:`repro.runtime.recursion.strip_unfolding`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.dtd.model import Choice, Empty, PCDATA, Sequence, Star
+from repro.relational.source import ResultSet
+from repro.xmlmodel.node import XMLElement, XMLText
+from repro.compilation.occurrences import (
+    ConstValue,
+    Occurrence,
+    RootValue,
+    TableColumn,
+)
+from repro.optimizer.qdg import TaggingPlan
+from repro.runtime.engine import ID_COLUMN
+
+PARENT_COLUMN = "__parent"
+
+
+class _Table:
+    """A cached relation indexed for tagging: rows grouped by parent id."""
+
+    def __init__(self, result: ResultSet, sort_columns: list[str]):
+        self.columns = result.columns
+        self.by_parent: dict[object, list[tuple]] = {}
+        parent_index = (result.columns.index(PARENT_COLUMN)
+                        if PARENT_COLUMN in result.columns else None)
+        sort_indexes = [result.columns.index(c) for c in sort_columns
+                        if c in result.columns]
+        for row in result.rows:
+            key = row[parent_index] if parent_index is not None else None
+            self.by_parent.setdefault(key, []).append(row)
+        for rows in self.by_parent.values():
+            rows.sort(key=lambda row: tuple(
+                (row[i] is not None, str(row[i])) for i in sort_indexes))
+
+    def rows_for(self, parent_id) -> list[tuple]:
+        return self.by_parent.get(parent_id, [])
+
+    def value(self, row: tuple, column: str):
+        return row[self.columns.index(column)]
+
+
+def build_document(plan: TaggingPlan, cache: dict[str, ResultSet],
+                   root_inh: dict) -> XMLElement:
+    """Sort-merge the cached relations into the final XML tree."""
+    builder = _TreeBuilder(plan, cache, root_inh)
+    return builder.build()
+
+
+class _TreeBuilder:
+    def __init__(self, plan: TaggingPlan, cache: dict[str, ResultSet],
+                 root_inh: dict):
+        self.plan = plan
+        self.cache = cache
+        self.root_inh = root_inh
+        self.aig = plan.tree.aig
+        self.tables: dict[str, _Table] = {}
+        for path, node_name in plan.table_of.items():
+            if node_name not in cache:
+                raise EvaluationError(
+                    f"tagging input {node_name!r} was not produced")
+            self.tables[path] = _Table(cache[node_name],
+                                       plan.sort_columns.get(path, []))
+        self.conditions: dict[str, _Table] = {}
+        for path, node_name in plan.condition_of.items():
+            self.conditions[path] = _Table(cache[node_name], [])
+        #: current anchor row per iteration-occurrence path
+        self.anchor_rows: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> XMLElement:
+        root_occurrence = self.plan.tree.root
+        root = XMLElement(root_occurrence.element_type)
+        self._fill(root_occurrence, root)
+        return root
+
+    def _fill(self, occurrence: Occurrence, node: XMLElement) -> None:
+        """Populate ``node`` (an instance of ``occurrence``)."""
+        model = self.aig.dtd.production(occurrence.element_type)
+        if isinstance(model, PCDATA):
+            value = self._text_value(occurrence)
+            node.append(XMLText("" if value is None else str(value)))
+        elif isinstance(model, Empty):
+            return
+        elif isinstance(model, Star):
+            child = occurrence.children[0]
+            self._emit_iteration(child, node)
+        elif isinstance(model, Choice):
+            self._emit_choice(occurrence, node)
+        else:
+            assert isinstance(model, Sequence)
+            for child in occurrence.children:
+                child_node = XMLElement(child.element_type)
+                node.append(child_node)
+                self._fill(child, child_node)
+
+    def _emit_iteration(self, occurrence: Occurrence,
+                        parent_node: XMLElement) -> None:
+        table = self.tables[occurrence.path]
+        parent_anchor = occurrence.parent_anchor()
+        if parent_anchor.parent is None and parent_anchor.path not in \
+                self.anchor_rows:
+            parent_id = None
+        else:
+            parent_row = self.anchor_rows[parent_anchor.path]
+            parent_id = self.tables[parent_anchor.path].value(parent_row,
+                                                              ID_COLUMN)
+        for row in table.rows_for(parent_id):
+            child_node = XMLElement(occurrence.element_type)
+            parent_node.append(child_node)
+            self.anchor_rows[occurrence.path] = row
+            self._fill(occurrence, child_node)
+        self.anchor_rows.pop(occurrence.path, None)
+
+    def _emit_choice(self, occurrence: Occurrence,
+                     node: XMLElement) -> None:
+        condition = self.conditions[occurrence.path]
+        anchor = occurrence.anchor
+        if anchor.parent is None:
+            rows = condition.rows_for(None)
+            if not rows:
+                rows = [row for group in condition.by_parent.values()
+                        for row in group]
+        else:
+            anchor_row = self.anchor_rows[anchor.path]
+            anchor_id = self.tables[anchor.path].value(anchor_row, ID_COLUMN)
+            rows = condition.rows_for(anchor_id)
+        if not rows:
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"no value for an instance at {occurrence.path}")
+        selector = rows[0][0]
+        try:
+            index = int(selector)
+        except (TypeError, ValueError):
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"non-integer {selector!r}") from None
+        rule = self.aig.rule_for(occurrence.element_type)
+        targets = rule.selector_targets(
+            [child.element_type for child in occurrence.children])
+        if not 1 <= index <= len(targets):
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"{index}, outside [1, {len(targets)}]")
+        chosen_name = targets[index - 1]
+        if chosen_name is None:
+            from repro.errors import RecursionTruncated
+            raise RecursionTruncated(
+                f"condition query of {occurrence.element_type!r} selected "
+                f"an alternative truncated by recursion unfolding; increase "
+                f"the unfold depth")
+        chosen = occurrence.child(chosen_name)
+        child_node = XMLElement(chosen.element_type)
+        node.append(child_node)
+        self._fill(chosen, child_node)
+
+    # ------------------------------------------------------------------
+    def _text_value(self, occurrence: Occurrence):
+        provenance = self.plan.text_of[occurrence.path]
+        if isinstance(provenance, ConstValue):
+            return provenance.value
+        if isinstance(provenance, RootValue):
+            return self.root_inh.get(provenance.member)
+        assert isinstance(provenance, TableColumn)
+        row = self.anchor_rows.get(provenance.occurrence.path)
+        if row is None:
+            raise EvaluationError(
+                f"no current row for {provenance.occurrence.path} while "
+                f"tagging {occurrence.path}")
+        return self.tables[provenance.occurrence.path].value(
+            row, provenance.column)

@@ -1,0 +1,69 @@
+"""A structured SQL subset — the query dialect of AIG semantic rules.
+
+The paper's rules use parameterized, possibly multi-source conjunctive SQL:
+
+    select t.trId, t.tname
+    from DB1:visitInfo i, DB2:cover c, DB4:treatment t
+    where i.SSN = $SSN and i.date = $date and t.trId = i.trId
+      and c.trId = i.trId and c.policy = $policy
+
+This package provides an AST for that dialect, a lexer/parser from text, a
+renderer to executable SQLite SQL, structural analyses (sources touched,
+parameters, join graph), and a left-deep planner used by multi-source query
+decomposition (Section 3.4).  Supported features: conjunctive equality /
+comparison predicates over columns, scalar parameters (``$name``), literals,
+set-valued parameters usable via ``IN $name`` or as a from-item (``$name v``),
+references to other queries' cached outputs (temp tables), and DISTINCT.
+"""
+
+from repro.sqlq.ast import (
+    Query,
+    SelectItem,
+    ColumnRef,
+    Param,
+    Literal,
+    Comparison,
+    InSet,
+    BaseTable,
+    TempTable,
+    SetParamTable,
+)
+from repro.sqlq.parser import parse_query
+from repro.sqlq.render import render_sqlite
+from repro.sqlq.analyze import (
+    sources_of,
+    scalar_params,
+    set_params,
+    aliases_of,
+    join_graph,
+    referenced_aliases,
+    output_columns,
+    resolve_unqualified,
+)
+from repro.sqlq.planner import left_deep_order, PlanStep, plan_steps
+
+__all__ = [
+    "Query",
+    "SelectItem",
+    "ColumnRef",
+    "Param",
+    "Literal",
+    "Comparison",
+    "InSet",
+    "BaseTable",
+    "TempTable",
+    "SetParamTable",
+    "parse_query",
+    "render_sqlite",
+    "sources_of",
+    "scalar_params",
+    "set_params",
+    "aliases_of",
+    "join_graph",
+    "referenced_aliases",
+    "output_columns",
+    "resolve_unqualified",
+    "left_deep_order",
+    "PlanStep",
+    "plan_steps",
+]

@@ -1,0 +1,184 @@
+"""Structural analyses over query ASTs.
+
+These power specification validation (unqualified-column resolution against
+the catalog), multi-source detection, dependency extraction (which scalar and
+set parameters a query consumes), and the join graph the left-deep planner
+orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import SpecError
+from repro.relational.schema import Catalog
+from repro.sqlq.ast import (
+    BaseTable,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FromItem,
+    InSet,
+    Literal,
+    Param,
+    Predicate,
+    Query,
+    SelectItem,
+    SetParamTable,
+    TempTable,
+)
+
+
+def sources_of(query: Query) -> set[str]:
+    """Names of the data sources whose base tables the query touches."""
+    return {item.source for item in query.from_items
+            if isinstance(item, BaseTable)}
+
+
+def is_multi_source(query: Query) -> bool:
+    return len(sources_of(query)) > 1
+
+
+def scalar_params(query: Query) -> set[str]:
+    """Names of scalar ``$params`` referenced anywhere in the query."""
+    names: set[str] = set()
+    for item in query.select:
+        if isinstance(item.expr, Param):
+            names.add(item.expr.name)
+    for predicate in query.where:
+        if isinstance(predicate, Comparison):
+            for side in (predicate.left, predicate.right):
+                if isinstance(side, Param):
+                    names.add(side.name)
+    return names
+
+
+def set_params(query: Query) -> set[str]:
+    """Names of set-valued parameters (IN $p, or $p used as a relation)."""
+    names: set[str] = set()
+    for item in query.from_items:
+        if isinstance(item, SetParamTable):
+            names.add(item.param)
+    for predicate in query.where:
+        if isinstance(predicate, InSet):
+            names.add(predicate.param)
+    return names
+
+
+def temp_inputs(query: Query) -> set[str]:
+    """Producer names of temp tables this query reads."""
+    return {item.producer for item in query.from_items
+            if isinstance(item, TempTable)}
+
+
+def aliases_of(query: Query) -> dict[str, FromItem]:
+    return {item.alias: item for item in query.from_items}
+
+
+def referenced_aliases(predicate: Predicate) -> set[str]:
+    result: set[str] = set()
+    if isinstance(predicate, Comparison):
+        for side in (predicate.left, predicate.right):
+            if isinstance(side, ColumnRef):
+                result.add(side.table)
+    else:
+        result.add(predicate.column.table)
+    return result
+
+
+def output_columns(query: Query) -> list[str]:
+    return query.output_names
+
+
+def join_graph(query: Query) -> dict[str, set[str]]:
+    """Alias adjacency induced by two-column equality predicates."""
+    graph: dict[str, set[str]] = {item.alias: set()
+                                  for item in query.from_items}
+    for predicate in query.where:
+        if (isinstance(predicate, Comparison) and predicate.op == "="
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, ColumnRef)):
+            left, right = predicate.left.table, predicate.right.table
+            if left != right and left in graph and right in graph:
+                graph[left].add(right)
+                graph[right].add(left)
+    return graph
+
+
+def resolve_unqualified(
+        query: Query,
+        catalog: Catalog,
+        set_param_fields: dict[str, tuple[str, ...]] | None = None,
+        temp_columns: dict[str, tuple[str, ...]] | None = None) -> Query:
+    """Qualify every bare column reference and validate qualified ones.
+
+    ``set_param_fields`` gives the tuple-component names of each set-valued
+    parameter; ``temp_columns`` the output columns of temp-table producers.
+    Raises :class:`SpecError` on unknown or ambiguous columns.
+    """
+    set_param_fields = set_param_fields or {}
+    temp_columns = temp_columns or {}
+
+    columns_by_alias: dict[str, tuple[str, ...]] = {}
+    for item in query.from_items:
+        if isinstance(item, BaseTable):
+            _, relation_schema = catalog.resolve(f"{item.source}:{item.relation}")
+            columns_by_alias[item.alias] = tuple(relation_schema.column_names)
+        elif isinstance(item, SetParamTable):
+            if item.param not in set_param_fields:
+                raise SpecError(
+                    f"query {query}: unknown set parameter ${item.param}")
+            columns_by_alias[item.alias] = set_param_fields[item.param]
+        else:
+            assert isinstance(item, TempTable)
+            columns = item.columns or temp_columns.get(item.producer)
+            if columns is None:
+                raise SpecError(
+                    f"query {query}: unknown temp producer {item.producer!r}")
+            columns_by_alias[item.alias] = tuple(columns)
+
+    def fix(expr: Expr) -> Expr:
+        if not isinstance(expr, ColumnRef):
+            return expr
+        if expr.table:
+            if expr.table not in columns_by_alias:
+                raise SpecError(
+                    f"query {query}: unknown table alias {expr.table!r}")
+            if expr.column not in columns_by_alias[expr.table]:
+                raise SpecError(
+                    f"query {query}: {expr.table!r} has no column "
+                    f"{expr.column!r}")
+            return expr
+        owners = [alias for alias, columns in columns_by_alias.items()
+                  if expr.column in columns]
+        if not owners:
+            raise SpecError(
+                f"query {query}: column {expr.column!r} not found in any "
+                f"from-item")
+        if len(owners) > 1:
+            raise SpecError(
+                f"query {query}: column {expr.column!r} is ambiguous "
+                f"(in {owners})")
+        return ColumnRef(owners[0], expr.column)
+
+    new_select = tuple(SelectItem(fix(item.expr), item.alias)
+                       for item in query.select)
+    new_where: list[Predicate] = []
+    for predicate in query.where:
+        if isinstance(predicate, Comparison):
+            new_where.append(Comparison(fix(predicate.left), predicate.op,
+                                        fix(predicate.right)))
+        else:
+            column = fix(predicate.column)
+            assert isinstance(column, ColumnRef)
+            field = predicate.field or column.column
+            if predicate.param not in set_param_fields:
+                raise SpecError(
+                    f"query {query}: unknown set parameter "
+                    f"${predicate.param}")
+            if field not in set_param_fields[predicate.param]:
+                raise SpecError(
+                    f"query {query}: set parameter ${predicate.param} has no "
+                    f"component {field!r}")
+            new_where.append(InSet(column, predicate.param, field))
+    return replace(query, select=new_select, where=tuple(new_where))

@@ -1,0 +1,51 @@
+"""Tokenizer for the AIG query dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<op><=|>=|<>|=|<|>)
+  | (?P<punct>[(),.:@])
+""", re.VERBOSE)
+
+KEYWORDS = {"select", "distinct", "from", "where", "and", "in", "as"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'number' | 'string' | 'param' | 'name' | 'keyword' | 'op' | 'punct' | 'eof'
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize; raises :class:`SQLSyntaxError` on unknown characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if not match:
+            raise SQLSyntaxError(
+                f"unexpected character {source[position]!r} at offset "
+                f"{position} in query: {source[:60]}...")
+        kind = match.lastgroup
+        text = match.group(0)
+        position = match.end()
+        if kind == "ws":
+            continue
+        if kind == "name" and text.lower() in KEYWORDS:
+            tokens.append(Token("keyword", text.lower(), match.start()))
+        else:
+            tokens.append(Token(kind, text, match.start()))
+    tokens.append(Token("eof", "", length))
+    return tokens

@@ -1,0 +1,182 @@
+"""Recursive-descent parser for the AIG query dialect.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT [DISTINCT] selitem ("," selitem)*
+                 FROM fromitem ("," fromitem)*
+                 [WHERE predicate (AND predicate)*]
+    selitem   := expr [AS name]
+    expr      := $param | literal | colref
+    colref    := name ["." name]
+    fromitem  := name ":" name [alias]        -- base table source:relation
+               | "$" name alias               -- set parameter as relation
+               | "@" name alias               -- temp table (internal use)
+    predicate := colref IN $param ["." name]
+               | expr op expr                 -- op in = < > <= >= <>
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlq.ast import (
+    BaseTable,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FromItem,
+    InSet,
+    Literal,
+    Param,
+    Predicate,
+    Query,
+    SelectItem,
+    SetParamTable,
+    TempTable,
+)
+from repro.sqlq.lexer import Token, tokenize
+
+
+def parse_query(source: str) -> Query:
+    """Parse query text into a :class:`Query` AST."""
+    parser = _Parser(tokenize(source), source)
+    return parser.parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        return SQLSyntaxError(
+            f"{message} (at {token.text!r}, offset {token.position}) "
+            f"in query: {self.source.strip()[:80]}")
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise self.error(f"expected {wanted!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self.expect("keyword", "select")
+        distinct = bool(self.accept("keyword", "distinct"))
+        select = [self.parse_select_item()]
+        while self.accept("punct", ","):
+            select.append(self.parse_select_item())
+        self.expect("keyword", "from")
+        from_items = [self.parse_from_item()]
+        while self.accept("punct", ","):
+            from_items.append(self.parse_from_item())
+        where: list[Predicate] = []
+        if self.accept("keyword", "where"):
+            where.append(self.parse_predicate())
+            while self.accept("keyword", "and"):
+                where.append(self.parse_predicate())
+        self.expect("eof")
+        select = self._disambiguate_aliases(select)
+        return Query(tuple(select), tuple(from_items), tuple(where), distinct)
+
+    def _disambiguate_aliases(self, items: list[SelectItem]) -> list[SelectItem]:
+        """Auto-suffix duplicate default output names (p.trId, t.trId)."""
+        seen: dict[str, int] = {}
+        result: list[SelectItem] = []
+        for item in items:
+            name = item.alias
+            if name in seen:
+                seen[name] += 1
+                result.append(SelectItem(item.expr, f"{name}_{seen[name]}"))
+            else:
+                seen[name] = 0
+                result.append(item)
+        return result
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        if self.accept("keyword", "as"):
+            alias = self.expect("name").text
+        elif isinstance(expr, ColumnRef):
+            alias = expr.column
+        elif isinstance(expr, Param):
+            alias = expr.name
+        else:
+            raise self.error("literal select item requires AS <name>")
+        return SelectItem(expr, alias)
+
+    def parse_expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "param":
+            self.advance()
+            return Param(token.text[1:])
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text[1:-1].replace("''", "'"))
+        if token.kind == "name":
+            first = self.advance().text
+            if self.accept("punct", "."):
+                column = self.expect("name").text
+                return ColumnRef(first, column)
+            return ColumnRef("", first)
+        raise self.error("expected expression")
+
+    def parse_from_item(self) -> FromItem:
+        token = self.peek()
+        if token.kind == "param":
+            self.advance()
+            alias = self.expect("name").text
+            return SetParamTable(token.text[1:], alias)
+        if token.kind == "punct" and token.text == "@":
+            self.advance()
+            producer = self.expect("name").text
+            alias = self.expect("name").text
+            return TempTable(producer, alias)
+        source = self.expect("name").text
+        self.expect("punct", ":")
+        relation = self.expect("name").text
+        alias_token = self.accept("name")
+        alias = alias_token.text if alias_token else relation
+        return BaseTable(source, relation, alias)
+
+    def parse_predicate(self) -> Predicate:
+        left = self.parse_expr()
+        if self.accept("keyword", "in"):
+            if not isinstance(left, ColumnRef):
+                raise self.error("IN requires a column on the left")
+            param_token = self.expect("param")
+            field = ""
+            if self.accept("punct", "."):
+                field = self.expect("name").text
+            return InSet(left, param_token.text[1:], field)
+        op_token = self.peek()
+        if op_token.kind != "op":
+            raise self.error("expected comparison operator or IN")
+        self.advance()
+        right = self.parse_expr()
+        return Comparison(left, op_token.text, right)

@@ -1,0 +1,29 @@
+"""XML tree substrate.
+
+A deliberately small, dependency-free XML data model: ordered element trees
+with text leaves, structural equality, serialization, a well-formed-subset
+parser, and a DTD-conformance validator.  The AIG evaluators build
+:class:`XMLElement` trees; the validator is the ground truth used by tests to
+assert the paper's central guarantee (every generated document conforms to the
+DTD it was derived from).
+"""
+
+from repro.xmlmodel.node import XMLElement, XMLText, XMLNode, element, text
+from repro.xmlmodel.serialize import serialize, parse_xml
+from repro.xmlmodel.validate import validate_tree, conforms_to
+from repro.xmlmodel.diff import tree_diff, assert_trees_equal, Difference
+
+__all__ = [
+    "XMLNode",
+    "XMLElement",
+    "XMLText",
+    "element",
+    "text",
+    "serialize",
+    "parse_xml",
+    "validate_tree",
+    "conforms_to",
+    "tree_diff",
+    "assert_trees_equal",
+    "Difference",
+]

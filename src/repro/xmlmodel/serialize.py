@@ -1,0 +1,179 @@
+"""Serialization and parsing for the XML subset used in this project.
+
+The writer escapes the five predefined entities; the reader handles exactly
+what the writer produces (elements, text, entity references, XML declaration
+and comments are tolerated and skipped).  It is *not* a general XML parser —
+no attributes, namespaces, CDATA or DOCTYPE internals — because generated
+documents never contain those.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.xmlmodel.node import XMLElement, XMLNode, XMLText
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"),
+            ('"', "&quot;"), ("'", "&apos;")]
+
+
+def escape_text(value: str) -> str:
+    for raw, entity in _ESCAPES:
+        value = value.replace(raw, entity)
+    return value
+
+
+def unescape_text(value: str) -> str:
+    for raw, entity in reversed(_ESCAPES):
+        value = value.replace(entity, raw)
+    return value
+
+
+def serialize(node: XMLNode, indent: int | None = None) -> str:
+    """Serialize a tree to a string.
+
+    With ``indent=None`` the output is compact (no insignificant whitespace);
+    with an integer it is pretty-printed, with text-only elements kept on one
+    line so PCDATA round-trips exactly.
+    """
+    parts: list[str] = []
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _is_text_only(node: XMLElement) -> bool:
+    return all(isinstance(c, XMLText) for c in node.children)
+
+
+def _write(node: XMLNode, parts: list[str], indent: int | None, level: int) -> None:
+    pad = "" if indent is None else " " * (indent * level)
+    newline = "" if indent is None else "\n"
+    if isinstance(node, XMLText):
+        parts.append(pad + escape_text(node.value) + newline)
+        return
+    assert isinstance(node, XMLElement)
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}/>{newline}")
+    elif indent is not None and _is_text_only(node):
+        content = "".join(escape_text(c.value) for c in node.children
+                          if isinstance(c, XMLText))
+        parts.append(f"{pad}<{node.tag}>{content}</{node.tag}>{newline}")
+    else:
+        parts.append(f"{pad}<{node.tag}>{newline}")
+        for child in node.children:
+            _write(child, parts, indent, level + 1)
+        parts.append(f"{pad}</{node.tag}>{newline}")
+
+
+def parse_xml(source: str) -> XMLElement:
+    """Parse a document produced by :func:`serialize` back into a tree.
+
+    Raises :class:`ValidationError` on malformed input.
+    """
+    parser = _Parser(source)
+    root = parser.parse_document()
+    return root
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    def error(self, message: str) -> ValidationError:
+        line = self.source.count("\n", 0, self.pos) + 1
+        return ValidationError(f"XML parse error at line {line}: {message}")
+
+    def parse_document(self) -> XMLElement:
+        self._skip_misc()
+        if self.pos >= self.length or self.source[self.pos] != "<":
+            raise self.error("expected root element")
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            raise self.error("trailing content after root element")
+        return root
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, XML declarations, processing instr. and comments."""
+        while self.pos < self.length:
+            ch = self.source[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.source.startswith("<?", self.pos):
+                end = self.source.find("?>", self.pos)
+                if end < 0:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.source.startswith("<!--", self.pos):
+                end = self.source.find("-->", self.pos)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            else:
+                return
+
+    def _parse_name(self) -> str:
+        start = self.pos
+        while (self.pos < self.length
+               and (self.source[self.pos].isalnum()
+                    or self.source[self.pos] in "_-.:")):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.source[start:self.pos]
+
+    def _parse_element(self) -> XMLElement:
+        assert self.source[self.pos] == "<"
+        self.pos += 1
+        tag = self._parse_name()
+        # Skip whitespace before the tag close; attributes are not supported.
+        while self.pos < self.length and self.source[self.pos].isspace():
+            self.pos += 1
+        if self.source.startswith("/>", self.pos):
+            self.pos += 2
+            return XMLElement(tag)
+        if self.pos >= self.length or self.source[self.pos] != ">":
+            raise self.error(f"malformed start tag <{tag}")
+        self.pos += 1
+        node = XMLElement(tag)
+        self._parse_content(node)
+        # now positioned after '</'
+        end_tag = self._parse_name()
+        if end_tag != tag:
+            raise self.error(f"mismatched end tag </{end_tag}>, expected </{tag}>")
+        while self.pos < self.length and self.source[self.pos].isspace():
+            self.pos += 1
+        if self.pos >= self.length or self.source[self.pos] != ">":
+            raise self.error(f"malformed end tag </{end_tag}")
+        self.pos += 1
+        return node
+
+    def _parse_content(self, parent: XMLElement) -> None:
+        text_start = self.pos
+        while True:
+            if self.pos >= self.length:
+                raise self.error(f"unterminated element <{parent.tag}>")
+            if self.source[self.pos] == "<":
+                self._flush_text(parent, text_start, self.pos)
+                if self.source.startswith("</", self.pos):
+                    self.pos += 2
+                    return
+                if self.source.startswith("<!--", self.pos):
+                    end = self.source.find("-->", self.pos)
+                    if end < 0:
+                        raise self.error("unterminated comment")
+                    self.pos = end + 3
+                else:
+                    parent.append(self._parse_element())
+                text_start = self.pos
+            else:
+                self.pos += 1
+
+    def _flush_text(self, parent: XMLElement, start: int, end: int) -> None:
+        raw = self.source[start:end]
+        if raw and not raw.isspace():
+            parent.append(XMLText(unescape_text(raw)))
+        elif raw and parent.children == [] and "\n" not in raw:
+            # whitespace-only content directly inside a leaf element is PCDATA
+            parent.append(XMLText(raw))

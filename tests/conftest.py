@@ -1,0 +1,40 @@
+"""Shared fixtures: the hospital AIG and small hand-made datasets."""
+
+import pytest
+
+from repro.hospital import build_hospital_aig, make_sources
+
+
+@pytest.fixture
+def hospital_aig():
+    return build_hospital_aig()
+
+
+@pytest.fixture
+def hospital_aig_plain():
+    """σ0 without the XML constraints."""
+    return build_hospital_aig(with_constraints=False)
+
+
+def load_tiny_hospital(sources, with_recursion=True):
+    """A hand-checked micro dataset (two patients, one recursive chain)."""
+    sources["DB1"].load_rows("patient", [("s1", "Ann", "p1"),
+                                         ("s2", "Bob", "p2")])
+    sources["DB1"].load_rows("visitInfo", [("s1", "t1", "d1"),
+                                           ("s2", "t2", "d1"),
+                                           ("s1", "t9", "d2")])
+    sources["DB2"].load_rows("cover", [("p1", "t1"), ("p2", "t2")])
+    sources["DB4"].load_rows("treatment", [("t1", "chk"), ("t2", "xray"),
+                                           ("t3", "bio"), ("t4", "mri"),
+                                           ("t9", "ct")])
+    if with_recursion:
+        sources["DB4"].load_rows("procedure", [("t1", "t3"), ("t3", "t4")])
+    sources["DB3"].load_rows("billing", [("t1", "100"), ("t2", "50"),
+                                         ("t3", "75"), ("t4", "5")])
+
+
+@pytest.fixture
+def tiny_sources():
+    sources = make_sources()
+    load_tiny_hospital(sources)
+    return sources

@@ -1,0 +1,299 @@
+"""Tests for the AIG grammar: attributes, rules, validation, dependencies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    CyclicDependencyError,
+    SpecError,
+    TypeCompatibilityError,
+)
+from repro.dtd import parse_dtd
+from repro.relational import Catalog, SourceSchema
+from repro.relational.schema import relation
+from repro.aig import (
+    AIG,
+    AttrSchema,
+    ChoiceBranch,
+    Rows,
+    assign,
+    collect,
+    inh,
+    query,
+    singleton,
+    syn,
+    union,
+)
+from repro.aig.attributes import empty_value
+from repro.aig.rules import PCDataRule, SequenceRule, StarRule
+
+
+def simple_catalog():
+    return Catalog([SourceSchema("DB", (
+        relation("t", "a", "b"),
+        relation("u", "a", "c"),
+    ))])
+
+
+class TestAttrSchema:
+    def test_members(self):
+        schema = AttrSchema(("x", "y"), sets={"s": ("a",)},
+                            bags={"g": ("b",)})
+        assert schema.members == ["x", "y", "s", "g"]
+        assert schema.is_scalar("x")
+        assert schema.is_collection("s") and schema.is_collection("g")
+        assert schema.is_bag("g") and not schema.is_bag("s")
+        assert schema.collection_fields("s") == ("a",)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(SpecError):
+            AttrSchema(("x",), sets={"x": ("a",)})
+
+    def test_merged_with(self):
+        merged = AttrSchema(("x",)).merged_with(AttrSchema(bags={"b": ("v",)}))
+        assert merged.members == ["x", "b"]
+
+    def test_merged_with_collision(self):
+        with pytest.raises(SpecError):
+            AttrSchema(("x",)).merged_with(AttrSchema(("x",)))
+
+    def test_empty_value(self):
+        schema = AttrSchema(("x",), sets={"s": ("a",)})
+        value = empty_value(schema)
+        assert value["x"] is None
+        assert isinstance(value["s"], Rows) and len(value["s"]) == 0
+
+
+class TestRows:
+    def test_set_dedups(self):
+        rows = Rows(("a",), [(1,), (1,), (2,)], distinct=True)
+        assert len(rows) == 2
+
+    def test_bag_keeps_duplicates(self):
+        rows = Rows(("a",), [(1,), (1,)], distinct=False)
+        assert len(rows) == 2 and rows.has_duplicates()
+
+    def test_union_field_mismatch(self):
+        with pytest.raises(SpecError):
+            Rows(("a",), []).union(Rows(("b",), []))
+
+    def test_union_set_semantics(self):
+        left = Rows(("a",), [(1,)])
+        right = Rows(("a",), [(1,), (2,)])
+        assert len(left.union(right)) == 2
+
+    def test_sorted_canonical(self):
+        rows = Rows(("a",), [("b",), (None,), ("a",)], distinct=False)
+        assert rows.sorted().rows == [(None,), ("a",), ("b",)]
+
+    def test_equality_ignores_order_for_sets(self):
+        assert Rows(("a",), [(1,), (2,)]) == Rows(("a",), [(2,), (1,)])
+
+    def test_values(self):
+        rows = Rows(("a", "b"), [(1, 2), (3, 4)])
+        assert rows.values("b") == [2, 4]
+
+    @given(st.lists(st.tuples(st.integers(0, 3))))
+    def test_set_union_idempotent(self, data):
+        rows = Rows(("a",), data, distinct=True)
+        assert rows.union(rows) == rows
+
+    @given(st.lists(st.tuples(st.integers(0, 3))),
+           st.lists(st.tuples(st.integers(0, 3))))
+    def test_bag_union_counts_add(self, left, right):
+        a = Rows(("x",), left, distinct=False)
+        b = Rows(("x",), right, distinct=False)
+        assert len(a.union(b)) == len(a) + len(b)
+
+
+class TestBuilderValidation:
+    def test_hospital_aig_validates(self, hospital_aig):
+        assert hospital_aig.validate() is hospital_aig
+
+    def test_requires_simple_dtd(self):
+        dtd = parse_dtd("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>")
+        with pytest.raises(SpecError):
+            AIG(dtd, simple_catalog())
+
+    def test_unknown_element_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        aig = AIG(dtd, simple_catalog())
+        with pytest.raises(SpecError):
+            aig.inh("zzz", "x")
+        with pytest.raises(SpecError):
+            aig.rule("zzz", syn=assign())
+
+    def test_star_requires_query(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>")
+        aig = AIG(dtd, simple_catalog())
+        with pytest.raises(SpecError):
+            aig.rule("a", inh={"b": assign()})
+
+    def test_missing_rule_detected(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>")
+        aig = AIG(dtd, simple_catalog())
+        with pytest.raises(SpecError):
+            aig.validate()
+
+    def test_pcdata_defaults(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog())
+        assert aig.inh_schema("b").scalars == ("val",)
+        assert isinstance(aig.rule_for("b"), PCDataRule)
+
+    def test_non_child_rule_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        aig = AIG(dtd, simple_catalog())
+        with pytest.raises(SpecError):
+            aig.rule("a", inh={"zzz": assign()})
+
+    def test_query_resolution_against_catalog(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog())
+        aig.inh("b", "val")
+        aig.rule("a", inh={"b": query("select t.a as val from DB:t t")})
+        assert aig.validate()
+
+    def test_query_unknown_column_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog())
+        aig.inh("b", "val")
+        with pytest.raises(SpecError):
+            aig.rule("a", inh={"b": query("select t.zzz as val from DB:t t")})
+
+    def test_constraint_declaration(self, hospital_aig):
+        assert len(hospital_aig.constraints) == 2
+
+    def test_clone_is_independent(self, hospital_aig):
+        clone = hospital_aig.clone()
+        clone.inh_schemas["report"] = AttrSchema(("other",))
+        assert hospital_aig.inh_schema("report").scalars == ("date",)
+
+
+class TestDependencies:
+    def test_hospital_patient_order(self, hospital_aig):
+        # bill depends on Syn(treatments), so treatments precedes bill.
+        order = hospital_aig.evaluation_order("patient")
+        assert order.index("treatments") < order.index("bill")
+        # everything else keeps production order
+        assert order.index("SSN") < order.index("pname")
+
+    def test_cyclic_dependency_rejected(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b, c)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+        """)
+        aig = AIG(dtd, simple_catalog())
+        aig.inh("b", "x").inh("c", "y")
+        aig.syn("b", "v").syn("c", "w")
+        aig.rule("b", syn=assign(v=inh("x")))
+        aig.rule("c", syn=assign(w=inh("y")))
+        aig.rule("a", inh={"b": assign(x=syn("c", "w")),
+                           "c": assign(y=syn("b", "v"))})
+        with pytest.raises(CyclicDependencyError):
+            aig.validate()
+
+    def test_acyclic_cross_dependency_allowed(self, hospital_aig):
+        # The paper stresses this case: Inh(bill) uses Syn(treatments) but
+        # not vice versa — acyclic.
+        hospital_aig.validate()
+
+
+class TestTypeCompatibility:
+    def make_base(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b, c)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+        """)
+        aig = AIG(dtd, simple_catalog(), root_inh=("x",))
+        return aig
+
+    def test_undeclared_member_in_rule(self):
+        aig = self.make_base()
+        aig.rule("a", inh={"b": assign(val=inh("zzz"))})
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_scalar_expected_collection_given(self):
+        aig = self.make_base()
+        aig.inh("a", "x", sets={"s": ("v",)})
+        # copying a set member into the scalar 'val' of b
+        aig.rule("a", inh={"b": assign(val=inh("s"))})
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_syn_cannot_use_inh_in_sequence(self):
+        aig = self.make_base()
+        aig.syn("a", "out")
+        aig.rule("a", syn=assign(out=inh("x")))
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_syn_can_use_inh_in_pcdata(self):
+        # the trId -> S pattern: Syn(trId).val = Inh(trId).val
+        aig = self.make_base()
+        aig.validate()  # defaults do exactly this
+
+    def test_query_valued_inh_needs_single_set_member(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b)>
+            <!ELEMENT b EMPTY>
+        """)
+        aig = AIG(dtd, simple_catalog(), root_inh=("x",))
+        aig.inh("b", "scalar")  # not a set: query assignment must fail
+        aig.rule("a", inh={"b": query("select t.a from DB:t t")})
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_star_query_output_mismatch(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog())
+        aig.inh("b", "val")
+        aig.rule("a", inh={"b": query("select t.a, t.b from DB:t t")})
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_collect_only_in_star(self):
+        aig = self.make_base()
+        aig.syn("a", sets={"s": ("v",)})
+        aig.rule("a", syn=assign(s=collect("b", "s")))
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_union_field_mismatch(self):
+        dtd = parse_dtd("<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog())
+        aig.inh("b", "val")
+        aig.syn("b", "val", sets={"other": ("x",)})
+        aig.syn("a", sets={"s": ("v",)})
+        aig.rule("a", inh={"b": query("select t.a as val from DB:t t")},
+                 syn=assign(s=collect("b", "other")))
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_singleton_fields_must_match(self, hospital_aig):
+        # sanity: the hospital AIG's singleton(trId=...) matches trIdS fields
+        hospital_aig.validate()
+
+    def test_condition_must_output_one_column(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b | c)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+        """)
+        aig = AIG(dtd, simple_catalog(), root_inh=("x",))
+        aig.rule("a",
+                 condition=query("select t.a, t.b from DB:t t"),
+                 branches={"b": ChoiceBranch(), "c": ChoiceBranch()})
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()
+
+    def test_repeated_child_syn_reference_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b, b)> <!ELEMENT b (#PCDATA)>")
+        aig = AIG(dtd, simple_catalog(), root_inh=("x",))
+        aig.syn("a", "out")
+        aig.rule("a", syn=assign(out=syn("b", "val")))
+        with pytest.raises(TypeCompatibilityError):
+            aig.validate()

@@ -1,0 +1,143 @@
+"""Tests for source-capability restrictions (Section 7, Garlic-style)."""
+
+import pytest
+
+from repro.aig import AIG, ConceptualEvaluator, assign, inh, query
+from repro.dtd import parse_dtd
+from repro.hospital.aig_def import (
+    Q1_TEXT,
+    Q2_TEXT,
+    Q3_TEXT,
+    Q4_TEXT,
+    build_hospital_aig,
+)
+from repro.hospital.schema import SOURCE_SCHEMAS
+from repro.relational import Catalog, DataSource, Network, SourceSchema
+from repro.relational.schema import SourceCapabilities, relation
+from repro.runtime import Middleware
+from repro.sqlq import parse_query, plan_steps
+from repro.sqlq.analyze import sources_of, temp_inputs
+from tests.conftest import load_tiny_hospital
+
+
+def restricted_catalog(restricted_source="DB2"):
+    schemas = []
+    for schema in SOURCE_SCHEMAS:
+        if schema.source == restricted_source:
+            schemas.append(SourceSchema(
+                schema.source, schema.relations,
+                capabilities=SourceCapabilities(accepts_temp_tables=False)))
+        else:
+            schemas.append(schema)
+    return Catalog(schemas)
+
+
+class TestPlannerSplit:
+    def test_incapable_source_gets_fetch_plus_mediator_join(self):
+        catalog = restricted_catalog("DB2")
+        steps = plan_steps(parse_query(Q2_TEXT), "Q2",
+                           capabilities=catalog.capabilities_of)
+        names = [step.name for step in steps]
+        assert "Q2.s2.fetch" in names and "Q2.s2.join" in names
+        fetch = next(s for s in steps if s.name.endswith(".fetch"))
+        join = next(s for s in steps if s.name.endswith(".join"))
+        assert fetch.source == "DB2"
+        assert join.source == "Mediator"
+        # the fetch has no temp inputs and only local predicates
+        assert not temp_inputs(fetch.query)
+        assert sources_of(fetch.query) == {"DB2"}
+        # later steps consume the join, not the original step
+        downstream = steps[-1]
+        assert "Q2.s2.join" in temp_inputs(downstream.query)
+
+    def test_fully_capable_sources_unchanged(self):
+        catalog = restricted_catalog("DB9")  # restricts nothing real
+        steps = plan_steps(parse_query(Q2_TEXT), "Q2",
+                           capabilities=catalog.capabilities_of)
+        assert [s.name for s in steps] == ["Q2.s1", "Q2.s2", "Q2.s3"]
+
+    def test_first_step_never_split(self):
+        # the first step receives no temp tables (scalar params only)
+        catalog = restricted_catalog("DB1")
+        steps = plan_steps(parse_query(Q2_TEXT), "Q2",
+                           capabilities=catalog.capabilities_of)
+        assert steps[0].source == "DB1"
+        assert not steps[0].name.endswith(".fetch")
+
+    def test_defaults_fully_capable(self):
+        catalog = restricted_catalog("DB2")
+        assert catalog.capabilities_of("DB1").accepts_temp_tables
+        assert not catalog.capabilities_of("DB2").accepts_temp_tables
+        assert catalog.capabilities_of("UNKNOWN").accepts_temp_tables
+
+
+def restricted_hospital_aig(restricted_source="DB2"):
+    """σ0 over a catalog where one source cannot accept temp tables."""
+    from repro.aig import collect, singleton, syn, union
+    from repro.hospital.schema import hospital_dtd
+    aig = AIG(hospital_dtd(), restricted_catalog(restricted_source),
+              root_inh=("date",))
+    aig.inh("patient", "date", "SSN", "pname", "policy")
+    aig.inh("treatments", "date", "SSN", "policy")
+    aig.syn("treatments", sets={"trIdS": ("trId",)})
+    aig.inh("treatment", "trId", "tname")
+    aig.syn("treatment", sets={"trIdS": ("trId",)})
+    aig.inh("procedure", "trId")
+    aig.syn("procedure", sets={"trIdS": ("trId",)})
+    aig.inh("bill", sets={"trIdS": ("trId",)})
+    aig.inh("item", "trId", "price")
+    aig.rule("report", inh={"patient": query(Q1_TEXT)})
+    aig.rule("patient", inh={
+        "SSN": assign(val=inh("SSN")),
+        "pname": assign(val=inh("pname")),
+        "treatments": assign(date=inh("date"), SSN=inh("SSN"),
+                             policy=inh("policy")),
+        "bill": assign(trIdS=syn("treatments", "trIdS")),
+    })
+    aig.rule("treatments", inh={"treatment": query(Q2_TEXT)},
+             syn=assign(trIdS=collect("treatment", "trIdS")))
+    aig.rule("treatment", inh={
+        "trId": assign(val=inh("trId")),
+        "tname": assign(val=inh("tname")),
+        "procedure": assign(trId=inh("trId")),
+    }, syn=assign(trIdS=union(syn("procedure", "trIdS"),
+                              singleton(trId=syn("trId", "val")))))
+    aig.rule("procedure", inh={"treatment": query(Q3_TEXT)},
+             syn=assign(trIdS=collect("treatment", "trIdS")))
+    aig.rule("bill", inh={"item": query(Q4_TEXT)})
+    aig.rule("item", inh={"trId": assign(val=inh("trId")),
+                          "price": assign(val=inh("price"))})
+    aig.key("patient", "item", "trId")
+    aig.inclusion("patient", "treatment", "trId", "item", "trId")
+    return aig.validate()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("restricted", ["DB2", "DB4", "DB3"])
+    def test_restricted_source_same_document(self, tiny_sources, restricted):
+        reference = ConceptualEvaluator(
+            build_hospital_aig(),
+            list(tiny_sources.values())).evaluate({"date": "d1"})
+        aig = restricted_hospital_aig(restricted)
+        report = Middleware(aig, tiny_sources,
+                            Network.mbps(1.0)).evaluate({"date": "d1"})
+        assert report.document == reference
+
+    def test_restricted_source_with_merging(self, tiny_sources):
+        aig = restricted_hospital_aig("DB2")
+        merged = Middleware(aig, tiny_sources, Network.mbps(1.0),
+                            merging=True).evaluate({"date": "d1"})
+        plain = Middleware(aig, tiny_sources, Network.mbps(1.0),
+                           merging=False).evaluate({"date": "d1"})
+        assert merged.document == plain.document
+
+    def test_restriction_costs_communication(self, tiny_sources):
+        """Shipping the fetch to the mediator costs more than joining at
+        the source — the restriction is visible in the simulated clock."""
+        capable = Middleware(build_hospital_aig(), tiny_sources,
+                             Network.mbps(1.0),
+                             merging=False).evaluate({"date": "d1"})
+        restricted = Middleware(restricted_hospital_aig("DB2"), tiny_sources,
+                                Network.mbps(1.0),
+                                merging=False).evaluate({"date": "d1"})
+        assert restricted.bytes_shipped >= capable.bytes_shipped

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Attribute Integration Grammars" in out
+        assert "repro.optimizer" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "patients" in out and "simulated response" in out
+
+    def test_demo_xml(self, capsys):
+        assert main(["demo", "--scale", "tiny", "--xml"]) == 0
+        out = capsys.readouterr().out
+        assert "<report>" in out
+
+    def test_demo_no_merge_dynamic(self, capsys):
+        assert main(["demo", "--scale", "tiny", "--no-merge",
+                     "--dynamic"]) == 0
+        assert "merging off" in capsys.readouterr().out
+
+    def test_check(self, capsys):
+        assert main(["check", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("identical=True") == 2
+        assert out.strip().endswith("OK")
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--scale", "galactic"])

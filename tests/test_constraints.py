@@ -1,0 +1,162 @@
+"""Tests for XML keys and inclusion constraints (model + direct checker)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConstraintError
+from repro.constraints import (
+    InclusionConstraint,
+    Key,
+    check_constraint,
+    check_constraints,
+    foreign_key,
+)
+from repro.dtd import parse_dtd
+from repro.xmlmodel import element
+
+DTD_TEXT = """
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+"""
+
+
+def make_patient(ssn, treatment_ids, item_ids):
+    def make_treatment(trid):
+        return element("treatment", element("trId", trid),
+                       element("tname", "t"), element("procedure"))
+    return element(
+        "patient",
+        element("SSN", ssn), element("pname", "p"),
+        element("treatments", *[make_treatment(t) for t in treatment_ids]),
+        element("bill", *[element("item", element("trId", t),
+                                  element("price", "10"))
+                          for t in item_ids]))
+
+
+KEY = Key("patient", "item", "trId")
+IC = InclusionConstraint("patient", "treatment", "trId", "item", "trId")
+
+
+class TestWellFormedness:
+    def setup_method(self):
+        self.dtd = parse_dtd(DTD_TEXT)
+
+    def test_paper_constraints_are_well_formed(self):
+        KEY.validate_against(self.dtd)
+        IC.validate_against(self.dtd)
+
+    def test_key_field_must_be_pcdata(self):
+        with pytest.raises(ConstraintError):
+            Key("patient", "treatment", "procedure").validate_against(self.dtd)
+
+    def test_key_field_must_belong_to_target(self):
+        with pytest.raises(ConstraintError):
+            Key("patient", "item", "tname").validate_against(self.dtd)
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(ConstraintError):
+            Key("nope", "item", "trId").validate_against(self.dtd)
+
+    def test_ic_fields_must_be_pcdata_subelements(self):
+        with pytest.raises(ConstraintError):
+            InclusionConstraint("patient", "treatment", "procedure",
+                                "item", "trId").validate_against(self.dtd)
+
+    def test_key_field_must_occur_once(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c, c)> <!ELEMENT b (c, c)>")
+        with pytest.raises(ConstraintError):
+            Key("a", "b", "c").validate_against(dtd)
+
+    def test_foreign_key_helper(self):
+        key, ic = foreign_key("patient", "treatment", "trId", "item", "trId")
+        assert key == KEY and ic == IC
+
+    def test_str_forms(self):
+        assert "->" in str(KEY)
+        assert "⊆" in str(IC)
+
+
+class TestKeyChecker:
+    def test_satisfied(self):
+        report = element("report", make_patient("s1", ["t1"], ["t1", "t2"]))
+        assert check_constraint(report, KEY) == []
+
+    def test_duplicate_within_patient_violates(self):
+        report = element("report", make_patient("s1", [], ["t1", "t1"]))
+        violations = check_constraint(report, KEY)
+        assert len(violations) == 1
+        assert "t1" in violations[0].detail
+
+    def test_same_value_across_patients_is_fine(self):
+        # Keys are relative to the context element.
+        report = element("report",
+                         make_patient("s1", [], ["t1"]),
+                         make_patient("s2", [], ["t1"]))
+        assert check_constraint(report, KEY) == []
+
+    def test_violation_locates_context(self):
+        report = element("report",
+                         make_patient("s1", [], ["t1"]),
+                         make_patient("s2", [], ["t2", "t2"]))
+        violations = check_constraint(report, KEY)
+        assert len(violations) == 1
+        assert violations[0].context_path == "report/patient"
+
+    def test_key_with_context_equal_target(self):
+        # b(b.c -> b): every b subtree contains itself; trivially satisfied
+        # unless nested b's collide.
+        dtd_tree = element("b", element("c", "1"),
+                           element("b", element("c", "1")))
+        key = Key("b", "b", "c")
+        violations = check_constraint(dtd_tree, key)
+        assert len(violations) == 1  # outer subtree has two b's valued "1"
+
+
+class TestInclusionChecker:
+    def test_satisfied(self):
+        report = element("report", make_patient("s1", ["t1"], ["t1", "t2"]))
+        assert check_constraint(report, IC) == []
+
+    def test_missing_item_violates(self):
+        report = element("report", make_patient("s1", ["t1", "t9"], ["t1"]))
+        violations = check_constraint(report, IC)
+        assert len(violations) == 1
+        assert "t9" in violations[0].detail
+
+    def test_empty_source_side_is_fine(self):
+        report = element("report", make_patient("s1", [], []))
+        assert check_constraint(report, IC) == []
+
+    def test_recursive_treatments_are_found(self):
+        # nested treatment under procedure must also be billed
+        patient = make_patient("s1", ["t1"], ["t1"])
+        inner = element("treatment", element("trId", "t2"),
+                        element("tname", "x"), element("procedure"))
+        patient.find("treatments").find("treatment").find("procedure").append(inner)
+        report = element("report", patient)
+        violations = check_constraint(report, IC)
+        assert len(violations) == 1 and "t2" in violations[0].detail
+
+    def test_check_constraints_aggregates(self):
+        report = element("report", make_patient("s1", ["t9"], ["t1", "t1"]))
+        violations = check_constraints(report, [KEY, IC])
+        assert len(violations) == 2
+
+    @given(ids=st.lists(st.sampled_from(["a", "b", "c"]), max_size=5))
+    def test_key_checker_matches_duplicate_definition(self, ids):
+        report = element("report", make_patient("s", [], ids))
+        has_duplicates = len(set(ids)) != len(ids)
+        assert bool(check_constraint(report, KEY)) == has_duplicates
+
+    @given(treatment_ids=st.lists(st.sampled_from(["a", "b"]), max_size=4),
+           item_ids=st.lists(st.sampled_from(["a", "b"]), max_size=4,
+                             unique=True))
+    def test_ic_checker_matches_subset_definition(self, treatment_ids, item_ids):
+        report = element("report", make_patient("s", treatment_ids, item_ids))
+        included = set(treatment_ids) <= set(item_ids)
+        assert bool(check_constraint(report, IC)) == (not included)

@@ -1,0 +1,70 @@
+"""Unit tests for the chain-statistics depth-estimation helpers."""
+
+import pytest
+
+from repro.runtime.recursion import _feedback_pattern, _longest_chain
+from repro.sqlq import parse_query
+
+
+class TestFeedbackPattern:
+    def test_hospital_q3_pattern(self):
+        query = parse_query(
+            "select p.trId2 as trId, t.tname "
+            "from DB4:procedure p, DB4:treatment t "
+            "where p.trId1 = $trId and t.trId = p.trId2")
+        pattern = _feedback_pattern(query)
+        assert pattern is not None
+        param, src_col, dst_col, remaining = pattern
+        assert param == "trId"
+        assert (src_col.table, src_col.column) == ("p", "trId1")
+        assert (dst_col.table, dst_col.column) == ("p", "trId2")
+        # only the feedback predicate is removed
+        assert len(remaining) == 1
+
+    def test_reversed_comparison_matches(self):
+        query = parse_query(
+            "select u.child as part_id from ERP:uses u "
+            "where $part_id = u.parent")
+        pattern = _feedback_pattern(query)
+        assert pattern is not None
+        assert pattern[0] == "part_id"
+
+    def test_no_same_named_output(self):
+        query = parse_query(
+            "select u.child as other from ERP:uses u where u.parent = $p")
+        assert _feedback_pattern(query) is None
+
+    def test_param_never_compared(self):
+        query = parse_query("select $p, u.child as p from ERP:uses u")
+        assert _feedback_pattern(query) is None
+
+
+class TestLongestChain:
+    def test_empty(self):
+        assert _longest_chain([], 10) == 0
+
+    def test_single_edge(self):
+        assert _longest_chain([("a", "b")], 10) == 2
+
+    def test_linear_chain(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "d")]
+        assert _longest_chain(edges, 10) == 4
+
+    def test_branching_takes_longest(self):
+        edges = [("a", "b"), ("a", "c"), ("c", "d"), ("d", "e")]
+        assert _longest_chain(edges, 10) == 4
+
+    def test_cycle_hits_cap(self):
+        edges = [("a", "b"), ("b", "a")]
+        assert _longest_chain(edges, 7) == 7
+
+    def test_self_loop_hits_cap(self):
+        assert _longest_chain([("a", "a")], 5) == 5
+
+    def test_disconnected_components(self):
+        edges = [("a", "b"), ("x", "y"), ("y", "z")]
+        assert _longest_chain(edges, 10) == 3
+
+    def test_cap_respected_on_long_chain(self):
+        edges = [(f"n{i}", f"n{i + 1}") for i in range(50)]
+        assert _longest_chain(edges, 12) == 12

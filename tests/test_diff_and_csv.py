@@ -1,0 +1,118 @@
+"""Tests for the XML structural diff and the CSV dataset pipeline."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.datagen import generate
+from repro.datagen.csvio import bulk_load_csv, export_csv, import_csv
+from repro.hospital import make_sources
+from repro.xmlmodel import element
+from repro.xmlmodel.diff import Difference, assert_trees_equal, tree_diff
+
+
+class TestTreeDiff:
+    def test_equal_trees_no_differences(self):
+        make = lambda: element("a", element("b", "x"), element("c"))
+        assert tree_diff(make(), make()) == []
+
+    def test_text_difference_located(self):
+        left = element("a", element("b", "x"))
+        right = element("a", element("b", "y"))
+        (difference,) = tree_diff(left, right)
+        assert difference.kind == "text"
+        assert difference.path == "a/b/#text"
+
+    def test_tag_difference(self):
+        differences = tree_diff(element("a", element("b")),
+                                element("a", element("z")))
+        kinds = {d.kind for d in differences}
+        assert "tag" in kinds or "children" in kinds
+        assert any(d.path.startswith("a") for d in differences)
+
+    def test_children_shape_difference(self):
+        left = element("a", element("b"), element("c"))
+        right = element("a", element("b"))
+        differences = tree_diff(left, right)
+        assert differences[0].kind == "children"
+
+    def test_repeated_siblings_indexed(self):
+        left = element("a", element("b", "1"), element("b", "2"))
+        right = element("a", element("b", "1"), element("b", "9"))
+        (difference,) = tree_diff(left, right)
+        assert "b[2]" in difference.path
+
+    def test_node_kind_difference(self):
+        left = element("a", "text-child")
+        right = element("a", element("b"))
+        differences = tree_diff(left, right)
+        assert differences
+        assert all(d.kind in ("node-kind", "children") for d in differences)
+
+    def test_limit_respected(self):
+        left = element("a", *[element("b", str(i)) for i in range(30)])
+        right = element("a", *[element("b", "x") for _ in range(30)])
+        assert len(tree_diff(left, right, limit=5)) <= 5
+
+    def test_assert_trees_equal_message(self):
+        with pytest.raises(AssertionError) as excinfo:
+            assert_trees_equal(element("a", element("b", "1")),
+                               element("a", element("b", "2")),
+                               label="docs")
+        assert "docs differ" in str(excinfo.value)
+        assert "a/b/#text" in str(excinfo.value)
+
+    def test_diff_agrees_with_equality(self):
+        from tests.conftest import load_tiny_hospital
+        from repro.aig import ConceptualEvaluator
+        from repro.hospital import build_hospital_aig
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        aig = build_hospital_aig()
+        first = ConceptualEvaluator(
+            aig, list(sources.values())).evaluate({"date": "d1"})
+        second = ConceptualEvaluator(
+            aig, list(sources.values())).evaluate({"date": "d1"})
+        assert (first == second) == (tree_diff(first, second) == [])
+
+
+class TestCSVPipeline:
+    def test_export_import_roundtrip(self, tmp_path):
+        dataset = generate("tiny", seed=4)
+        export_csv(dataset, tmp_path)
+        restored = import_csv(tmp_path, "tiny")
+        assert restored.patient == dataset.patient
+        assert restored.visit_info == dataset.visit_info
+        assert restored.procedure == dataset.procedure
+        assert restored.cardinalities() == dataset.cardinalities()
+
+    def test_bulk_load(self, tmp_path):
+        dataset = generate("tiny", seed=4)
+        export_csv(dataset, tmp_path)
+        sources = make_sources()
+        bulk_load_csv(tmp_path, sources)
+        assert sources["DB1"].row_count("patient") == len(dataset.patient)
+        assert sources["DB4"].row_count("procedure") == len(dataset.procedure)
+
+    def test_loaded_dataset_evaluates(self, tmp_path):
+        from repro.aig import ConceptualEvaluator
+        from repro.hospital import build_hospital_aig
+        from repro.xmlmodel import conforms_to
+        dataset = generate("tiny", seed=4)
+        export_csv(dataset, tmp_path)
+        sources = make_sources()
+        bulk_load_csv(tmp_path, sources)
+        aig = build_hospital_aig()
+        tree = ConceptualEvaluator(aig, list(sources.values())).evaluate(
+            {"date": dataset.busiest_date()})
+        assert conforms_to(tree, aig.dtd)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SpecError):
+            import_csv(tmp_path)
+
+    def test_corrupt_reference_rejected(self, tmp_path):
+        dataset = generate("tiny", seed=4)
+        export_csv(dataset, tmp_path)
+        (tmp_path / "procedure.csv").write_text("ghost1,ghost2\n")
+        with pytest.raises(SpecError):
+            import_csv(tmp_path, "tiny")

@@ -1,0 +1,292 @@
+"""Tests for DTD parsing, normalization, and structural analyses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DTDError
+from repro.dtd import (
+    DTD,
+    Choice,
+    Empty,
+    Name,
+    PCDATA,
+    Sequence,
+    Star,
+    base_name,
+    is_simple,
+    normalize_dtd,
+    parse_dtd,
+    reachable_types,
+    recursive_types,
+    unfold_dtd,
+    unfolded_name,
+)
+from repro.dtd.normalize import is_entity_type, is_simple_dtd
+from repro.xmlmodel import conforms_to, element
+
+HOSPITAL = """
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+"""
+
+
+class TestParser:
+    def test_hospital_dtd_parses(self):
+        dtd = parse_dtd(HOSPITAL)
+        assert dtd.root == "report"
+        assert dtd.production("report") == Star(Name("patient"))
+        assert dtd.production("patient") == Sequence(
+            Name("SSN"), Name("pname"), Name("treatments"), Name("bill"))
+
+    def test_undeclared_types_become_pcdata(self):
+        dtd = parse_dtd(HOSPITAL)
+        assert isinstance(dtd.production("SSN"), PCDATA)
+        assert isinstance(dtd.production("price"), PCDATA)
+
+    def test_default_pcdata_off_rejects_undeclared(self):
+        with pytest.raises(DTDError):
+            parse_dtd(HOSPITAL, default_pcdata=False)
+
+    def test_explicit_pcdata_and_empty(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b)>
+            <!ELEMENT b (#PCDATA)>
+        """)
+        assert isinstance(dtd.production("b"), PCDATA)
+        dtd2 = parse_dtd("<!ELEMENT a EMPTY>")
+        assert isinstance(dtd2.production("a"), Empty)
+
+    def test_choice_and_postfix(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b | c)>
+            <!ELEMENT b (c*)>
+            <!ELEMENT c EMPTY>
+        """)
+        assert dtd.production("a") == Choice(Name("b"), Name("c"))
+        assert dtd.production("b") == Star(Name("c"))
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a ((b, c)*, d?)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+            <!ELEMENT d EMPTY>
+        """)
+        model = dtd.production("a")
+        assert not is_simple(model)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>")
+
+    def test_mixed_separator_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+    def test_stray_content_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a EMPTY> garbage")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd("   ")
+
+    def test_comments_ignored(self):
+        dtd = parse_dtd("<!-- c1 --><!ELEMENT a EMPTY><!-- c2 -->")
+        assert dtd.root == "a"
+
+    def test_explicit_root_override(self):
+        dtd = parse_dtd(HOSPITAL, root="patient")
+        assert dtd.root == "patient"
+
+    def test_any_content_unsupported(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT a ANY>")
+
+    def test_to_text_reparses_equal(self):
+        dtd = parse_dtd(HOSPITAL)
+        again = parse_dtd(dtd.to_text())
+        assert again == dtd
+
+
+class TestModel:
+    def test_undeclared_reference_rejected_at_construction(self):
+        with pytest.raises(DTDError):
+            DTD("a", {"a": Sequence(Name("missing"))})
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(DTDError):
+            DTD("zzz", {"a": Empty()})
+
+    def test_string_subelement_types(self):
+        dtd = parse_dtd(HOSPITAL)
+        assert dtd.string_subelement_types("item") == ["trId", "price"]
+        assert dtd.string_subelement_types("treatments") == []
+
+    def test_occurs_once(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b, c, b)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+        """)
+        assert dtd.occurs_once("a", "c")
+        assert not dtd.occurs_once("a", "b")
+
+    def test_nullability(self):
+        assert Star(Name("x")).is_nullable()
+        assert not Sequence(Name("x")).is_nullable()
+        assert Choice(Name("x"), Empty()).is_nullable()
+
+
+class TestNormalize:
+    def test_simple_dtd_unchanged_shape(self):
+        dtd = parse_dtd(HOSPITAL)
+        normalized = normalize_dtd(dtd)
+        assert is_simple_dtd(normalized)
+        # No synthetic types needed for an already-simple DTD.
+        assert set(normalized.productions) == set(dtd.productions)
+
+    def test_plus_normalizes(self):
+        dtd = parse_dtd("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>")
+        normalized = normalize_dtd(dtd)
+        assert is_simple_dtd(normalized)
+        model = normalized.production("a")
+        assert isinstance(model, Sequence) and len(model.items) == 2
+
+    def test_optional_normalizes(self):
+        dtd = parse_dtd("<!ELEMENT a (b?)> <!ELEMENT b EMPTY>")
+        normalized = normalize_dtd(dtd)
+        assert is_simple_dtd(normalized)
+        assert isinstance(normalized.production("a"), Choice)
+
+    def test_nested_group_normalizes(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a ((b, c)*, (b | c))>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+        """)
+        normalized = normalize_dtd(dtd)
+        assert is_simple_dtd(normalized)
+        synthetic = [t for t in normalized.productions if is_entity_type(t)]
+        assert synthetic, "normalization should introduce entity types"
+
+    def test_normalized_document_erasure_equivalence(self):
+        # A document of the normalized DTD maps back to the general DTD by
+        # erasing entity elements.
+        dtd = parse_dtd("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>")
+        normalized = normalize_dtd(dtd)
+        seq = normalized.production("a")
+        star_type = seq.items[1].value
+        doc = element("a", element("b"),
+                      element(star_type, element("b"), element("b")))
+        assert conforms_to(doc, normalized)
+        # erase the entity node
+        entity_node = doc.children[1]
+        doc.replace_with_children(entity_node)
+        assert conforms_to(doc, dtd)
+
+    def test_reserved_separator_rejected(self):
+        with pytest.raises(DTDError):
+            normalize_dtd(DTD("a%1", {"a%1": Empty()}))
+
+
+class TestAnalysis:
+    def test_recursive_types_hospital(self):
+        dtd = parse_dtd(HOSPITAL)
+        assert recursive_types(dtd) == {"treatment", "procedure"}
+
+    def test_self_recursion(self):
+        dtd = parse_dtd("<!ELEMENT a (a*)>")
+        assert recursive_types(dtd) == {"a"}
+
+    def test_non_recursive(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        assert recursive_types(dtd) == set()
+
+    def test_reachable(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT orphan EMPTY>
+        """)
+        assert reachable_types(dtd) == {"a", "b"}
+
+    def test_base_name_roundtrip(self):
+        assert base_name(unfolded_name("treatment", 3)) == "treatment"
+        assert base_name("plain") == "plain"
+
+
+class TestUnfold:
+    def test_hospital_unfold_depth(self):
+        dtd = parse_dtd(HOSPITAL)
+        for depth in range(1, 8):
+            unfolded = unfold_dtd(dtd, depth)
+            assert not recursive_types(unfolded)
+            # count distinct treatment levels
+            levels = [t for t in unfolded.productions
+                      if base_name(t) == "treatment"]
+            assert len(levels) == depth
+
+    def test_unfold_preserves_non_recursive_dtd(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")
+        assert unfold_dtd(dtd, 3) is dtd
+
+    def test_unfolded_document_conforms(self):
+        dtd = parse_dtd(HOSPITAL)
+        unfolded = unfold_dtd(dtd, 2)
+        # treatments#2 -> treatment#1* ; treatment#1 -> ... procedure#1 ;
+        # procedure#1 -> treatment#0* ; procedure#0 -> EMPTY
+        leaf = element(unfolded_name("treatment", 0),
+                       element("trId", "t2"), element("tname", "n"),
+                       element(unfolded_name("procedure", 0)))
+        top = element(unfolded_name("treatment", 1),
+                      element("trId", "t1"), element("tname", "n"),
+                      element(unfolded_name("procedure", 1), leaf))
+        patient = element(
+            unfolded_name("patient", 2),
+            element("SSN", "s"), element("pname", "p"),
+            element(unfolded_name("treatments", 2), top),
+            element("bill"))
+        report = element(unfolded_name("report", 2), patient)
+        assert conforms_to(report, unfolded)
+
+    def test_depth_zero_truncates_immediately(self):
+        dtd = parse_dtd("<!ELEMENT a (a*)>")
+        unfolded = unfold_dtd(dtd, 0)
+        assert unfolded.production(unfolded.root) == Empty()
+
+    def test_untruncatable_cycle_rejected(self):
+        # a -> (b), b -> (a): a pure sequence cycle has no truncation point
+        with pytest.raises(DTDError):
+            unfold_dtd(parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (a)>"), 3)
+
+    def test_choice_cycle_truncates(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (a | b)>
+            <!ELEMENT b EMPTY>
+        """)
+        unfolded = unfold_dtd(dtd, 2)
+        assert not recursive_types(unfolded)
+        # At depth 0 only the non-recursive alternative survives.
+        bottom = unfolded.production(unfolded_name("a", 0))
+        assert Name("a" + "") not in getattr(bottom, "items", ())
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(DTDError):
+            unfold_dtd(parse_dtd(HOSPITAL), -1)
+
+    def test_double_unfold_rejected(self):
+        dtd = parse_dtd(HOSPITAL)
+        unfolded = unfold_dtd(dtd, 2)
+        with pytest.raises(DTDError):
+            unfold_dtd(unfolded, 2)
+
+    @given(depth=st.integers(min_value=0, max_value=6))
+    def test_unfold_never_recursive(self, depth):
+        dtd = parse_dtd(HOSPITAL)
+        assert not recursive_types(unfold_dtd(dtd, depth))

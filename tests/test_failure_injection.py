@@ -1,0 +1,133 @@
+"""Failure-injection tests: the library must fail loudly and cleanly.
+
+A production data-integration system meets broken schemas, dropped tables,
+closed connections, and malformed inputs; every failure should surface as a
+typed `ReproError` with context — never a silent wrong answer.
+"""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    PlanError,
+    ReproError,
+    SpecError,
+)
+from repro.aig import ConceptualEvaluator
+from repro.hospital import build_hospital_aig, make_sources
+from repro.relational import DataSource, Network, SourceSchema
+from repro.relational.schema import relation
+from repro.runtime import Middleware
+from tests.conftest import load_tiny_hospital
+
+
+class TestMissingData:
+    def test_dropped_table_conceptual(self, hospital_aig, tiny_sources):
+        tiny_sources["DB2"].execute_script("DROP TABLE cover")
+        with pytest.raises(EvaluationError) as excinfo:
+            ConceptualEvaluator(
+                hospital_aig,
+                list(tiny_sources.values())).evaluate({"date": "d1"})
+        assert "cover" in str(excinfo.value)
+
+    def test_dropped_table_middleware(self, hospital_aig, tiny_sources):
+        tiny_sources["DB4"].execute_script("DROP TABLE procedure")
+        # the failure surfaces at statistics collection already
+        with pytest.raises(EvaluationError):
+            Middleware(hospital_aig, tiny_sources,
+                       Network.mbps(1.0)).evaluate({"date": "d1"})
+
+    def test_missing_source(self, hospital_aig, tiny_sources):
+        del tiny_sources["DB3"]
+        middleware = Middleware(hospital_aig, tiny_sources, Network.mbps(1.0))
+        with pytest.raises(ReproError):
+            middleware.evaluate({"date": "d1"})
+
+    def test_closed_connection(self, hospital_aig, tiny_sources):
+        tiny_sources["DB1"].close()
+        with pytest.raises(ReproError):
+            Middleware(hospital_aig, tiny_sources,
+                       Network.mbps(1.0)).evaluate({"date": "d1"})
+
+
+class TestBadInputs:
+    def test_wrong_root_member_name(self, hospital_aig, tiny_sources):
+        evaluator = ConceptualEvaluator(hospital_aig,
+                                        list(tiny_sources.values()))
+        with pytest.raises(EvaluationError) as excinfo:
+            evaluator.evaluate({"when": "d1"})
+        assert "date" in str(excinfo.value)
+
+    def test_schema_mismatch_on_load(self):
+        source = DataSource(SourceSchema("DB", (relation("t", "a", "b"),)))
+        with pytest.raises(Exception):
+            source.load_rows("t", [("only-one-column",)])
+
+    def test_unknown_relation_on_load(self):
+        source = DataSource(SourceSchema("DB", (relation("t", "a"),)))
+        with pytest.raises(SpecError):
+            source.load_rows("zzz", [("x",)])
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_are_repro_errors(self):
+        import repro.errors as errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_plan_error_message_names_node(self, hospital_aig, tiny_sources):
+        from repro.optimizer import build_qdg, CostModel, schedule
+        from repro.compilation import specialize
+        from repro.runtime import unfold_aig
+        from repro.runtime.engine import Engine
+        from repro.relational import StatisticsCatalog
+        stats = StatisticsCatalog.from_sources(list(tiny_sources.values()))
+        spec = specialize(unfold_aig(hospital_aig, 2), stats)
+        graph, _ = build_qdg(spec, stats)
+        with pytest.raises(PlanError) as excinfo:
+            Engine(graph, {}, tiny_sources,
+                   Network.mbps(1.0)).run({"date": "d1"})
+        assert "schedule" in str(excinfo.value)
+
+    def test_sql_error_names_source_and_statement(self, tiny_sources):
+        with pytest.raises(EvaluationError) as excinfo:
+            tiny_sources["DB1"].execute("SELECT zzz FROM patient")
+        message = str(excinfo.value)
+        assert "DB1" in message and "SELECT" in message
+
+
+class TestPartialStateIsolation:
+    def test_failed_run_does_not_corrupt_sources(self, hospital_aig):
+        """A failed evaluation leaves the base data intact for a retry."""
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        before = sources["DB1"].row_count("patient")
+        sources["DB2"].execute_script("DROP TABLE cover")
+        with pytest.raises(EvaluationError):
+            Middleware(hospital_aig, sources,
+                       Network.mbps(1.0)).evaluate({"date": "d1"})
+        assert sources["DB1"].row_count("patient") == before
+        # restore and retry successfully
+        sources["DB2"].execute_script(
+            "CREATE TABLE cover (policy TEXT, trId TEXT, "
+            "PRIMARY KEY (policy, trId))")
+        sources["DB2"].load_rows("cover", [("p1", "t1")])
+        report = Middleware(hospital_aig, sources,
+                            Network.mbps(1.0)).evaluate({"date": "d1"})
+        assert report.document.tag == "report"
+
+    def test_abort_leaves_sources_usable(self, hospital_aig):
+        from repro.errors import EvaluationAborted
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        sources["DB3"].execute_script("DELETE FROM billing WHERE trId='t4'")
+        with pytest.raises(EvaluationAborted):
+            Middleware(hospital_aig, sources,
+                       Network.mbps(1.0)).evaluate({"date": "d1"})
+        # a different date that avoids the violation still works
+        report = Middleware(hospital_aig, sources,
+                            Network.mbps(1.0)).evaluate({"date": "d2"})
+        assert report.document.tag == "report"

@@ -1,0 +1,91 @@
+"""Whole-system integration tests on generated data.
+
+These exercise the full pipeline at the generator's ``tiny`` scale (and one
+paper-scale smoke test) — the stronger end-to-end guarantees the paper
+promises: conformance, constraint satisfaction, and equality of the two
+evaluation paths, now on data with real fan-out and recursion depth.
+"""
+
+import pytest
+
+from repro.errors import EvaluationAborted
+from repro.aig import ConceptualEvaluator
+from repro.constraints import check_constraints
+from repro.datagen import make_loaded_sources
+from repro.hospital import build_hospital_aig
+from repro.relational import Network
+from repro.runtime import Middleware
+from repro.xmlmodel import conforms_to, parse_xml, serialize
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    sources, dataset = make_loaded_sources("tiny", seed=11)
+    return build_hospital_aig(), sources, dataset
+
+
+class TestTinyScale:
+    def test_full_equivalence(self, tiny_world):
+        aig, sources, dataset = tiny_world
+        date = dataset.busiest_date()
+        conceptual = ConceptualEvaluator(
+            aig, list(sources.values())).evaluate({"date": date})
+        for merging in (False, True):
+            report = Middleware(aig, sources, Network.mbps(1.0),
+                                merging=merging).evaluate({"date": date})
+            assert report.document == conceptual
+
+    def test_conformance_and_constraints(self, tiny_world):
+        aig, sources, dataset = tiny_world
+        report = Middleware(aig, sources, Network.mbps(1.0)).evaluate(
+            {"date": dataset.busiest_date()})
+        assert conforms_to(report.document, aig.dtd)
+        assert check_constraints(report.document, aig.constraints) == []
+
+    def test_serialization_roundtrip(self, tiny_world):
+        aig, sources, dataset = tiny_world
+        report = Middleware(aig, sources, Network.mbps(1.0)).evaluate(
+            {"date": dataset.busiest_date()})
+        text = serialize(report.document, indent=2)
+        assert parse_xml(text) == report.document
+
+    def test_every_date_works(self, tiny_world):
+        aig, sources, dataset = tiny_world
+        dates = sorted({row[2] for row in dataset.visit_info})
+        for date in dates[:3]:
+            conceptual = ConceptualEvaluator(
+                aig, list(sources.values())).evaluate({"date": date})
+            report = Middleware(aig, sources,
+                                Network.mbps(1.0)).evaluate({"date": date})
+            assert report.document == conceptual
+
+    def test_injected_inclusion_violation_aborts(self):
+        sources, dataset = make_loaded_sources("tiny", seed=11,
+                                               violate_inclusion=True)
+        aig = build_hospital_aig()
+        aborted = False
+        for date in sorted({row[2] for row in dataset.visit_info}):
+            try:
+                Middleware(aig, sources, Network.mbps(1.0)).evaluate(
+                    {"date": date})
+            except EvaluationAborted:
+                aborted = True
+                break
+        assert aborted, "the injected violation must abort some report"
+
+
+@pytest.mark.slow
+class TestPaperScaleSmoke:
+    def test_small_scale_report(self):
+        sources, dataset = make_loaded_sources("small")
+        aig = build_hospital_aig()
+        date = dataset.busiest_date()
+        no_merge = Middleware(aig, sources, Network.mbps(1.0),
+                              merging=False).evaluate({"date": date})
+        merged = Middleware(aig, sources, Network.mbps(1.0),
+                            merging=True).evaluate({"date": date})
+        assert merged.document == no_merge.document
+        assert conforms_to(merged.document, aig.dtd)
+        assert merged.response_time <= no_merge.response_time * 1.001
+        # a busiest-day report at small scale covers hundreds of patients
+        assert len(merged.document.find_all("patient")) > 100

@@ -1,0 +1,116 @@
+"""Property test: the DTD-conformance NFA agrees with a reference matcher.
+
+Content models are regular expressions over child labels.  The oracle here
+is an independent memoized structural matcher (polynomial time — Python's
+``re`` backtracks catastrophically on hypothesis-generated nested
+quantifiers, so it only serves as a spot-check oracle on a fixed pattern).
+"""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dtd.model import (
+    Choice,
+    Empty,
+    Name,
+    Optional,
+    Plus,
+    Sequence,
+    Star,
+)
+from repro.xmlmodel.validate import _compile_model
+
+SYMBOLS = ["a", "b", "c"]
+
+
+def models():
+    leaf = st.one_of(
+        st.sampled_from(SYMBOLS).map(Name),
+        st.just(Empty()),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.one_of(
+            st.lists(inner, min_size=1, max_size=3).map(
+                lambda items: Sequence(*items)),
+            st.lists(inner, min_size=1, max_size=3).map(
+                lambda items: Choice(*items)),
+            inner.map(Star),
+            inner.map(Plus),
+            inner.map(Optional),
+        ),
+        max_leaves=8,
+    )
+
+
+def reference_match(model, word: tuple) -> bool:
+    """Memoized segment matcher: can ``model`` derive ``word``?"""
+    memo: dict = {}
+
+    def match(node, start: int, end: int) -> bool:
+        key = (id(node), start, end)
+        if key in memo:
+            return memo[key]
+        memo[key] = False  # guard against Star-of-nullable recursion
+        if isinstance(node, Empty):
+            result = start == end
+        elif isinstance(node, Name):
+            result = end == start + 1 and word[start] == node.value
+        elif isinstance(node, Sequence):
+            result = match_sequence(node.items, 0, start, end)
+        elif isinstance(node, Choice):
+            result = any(match(item, start, end) for item in node.items)
+        elif isinstance(node, Star):
+            result = start == end or any(
+                match(node.item, start, split) and match(node, split, end)
+                for split in range(start + 1, end + 1))
+        elif isinstance(node, Plus):
+            # one-or-more: item, then either done or more of the Plus
+            result = any(
+                match(node.item, start, split)
+                and (split == end or match(node, split, end))
+                for split in range(start, end + 1))
+        elif isinstance(node, Optional):
+            result = start == end or match(node.item, start, end)
+        else:
+            raise AssertionError(node)
+        memo[key] = result
+        return result
+
+    seq_memo: dict = {}
+
+    def match_sequence(items, index: int, start: int, end: int) -> bool:
+        if index == len(items):
+            return start == end
+        key = (id(items), index, start, end)
+        if key in seq_memo:
+            return seq_memo[key]
+        seq_memo[key] = False
+        result = any(
+            match(items[index], start, split)
+            and match_sequence(items, index + 1, split, end)
+            for split in range(start, end + 1))
+        seq_memo[key] = result
+        return result
+
+    return match(model, 0, len(word))
+
+
+@settings(deadline=None, max_examples=150)
+@given(model=models(),
+       word=st.lists(st.sampled_from(SYMBOLS), max_size=6))
+def test_nfa_matches_reference(model, word):
+    nfa = _compile_model(model)
+    assert nfa.matches(list(word)) == reference_match(model, tuple(word))
+
+
+@given(word=st.lists(st.sampled_from(SYMBOLS), max_size=8))
+def test_known_model_against_re(word):
+    # (a | b)+ , c?  — safe for Python's re, a second independent oracle
+    model = Sequence(Plus(Choice(Name("a"), Name("b"))),
+                     Optional(Name("c")))
+    nfa = _compile_model(model)
+    expected = bool(re.match(r"^[ab]+c?$", "".join(word)))
+    assert nfa.matches(list(word)) == expected
+    assert reference_match(model, tuple(word)) == expected

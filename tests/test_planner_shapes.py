@@ -1,0 +1,87 @@
+"""Decomposition-shape tests: four-source chains, cross products,
+set-param anchored queries, and predicate placement."""
+
+import pytest
+
+from repro.relational import Catalog, SourceSchema, StatisticsCatalog, TableStats
+from repro.relational.schema import relation
+from repro.sqlq import parse_query, plan_steps
+from repro.sqlq.analyze import sources_of, temp_inputs
+from repro.sqlq.ast import Comparison, InSet
+from repro.sqlq.planner import left_deep_order
+
+
+class TestFourSourceChain:
+    QUERY = """
+    select d.val
+    from S1:a a, S2:b b, S3:c c, S4:d d
+    where a.k = $start and b.k = a.ref and c.k = b.ref and d.k = c.ref
+    """
+
+    def test_four_steps(self):
+        steps = plan_steps(parse_query(self.QUERY), "Q")
+        assert [s.source for s in steps] == ["S1", "S2", "S3", "S4"]
+        for index, step in enumerate(steps):
+            if index:
+                assert temp_inputs(step.query) == {steps[index - 1].name}
+
+    def test_each_step_single_source(self):
+        for step in plan_steps(parse_query(self.QUERY), "Q"):
+            assert len(sources_of(step.query)) == 1
+
+    def test_final_output_preserved(self):
+        steps = plan_steps(parse_query(self.QUERY), "Q")
+        assert steps[-1].query.output_names == ["val"]
+
+
+class TestCrossProduct:
+    def test_unjoined_tables_still_planned(self):
+        query = parse_query(
+            "select a.x, b.y from S1:a a, S2:b b where a.k = $k")
+        steps = plan_steps(query, "Q")
+        assert len(steps) == 2
+        # the bound table comes first
+        assert steps[0].source == "S1"
+
+    def test_same_source_cross_product_one_step(self):
+        query = parse_query("select a.x, b.y from S1:a a, S1:b b")
+        steps = plan_steps(query, "Q")
+        assert len(steps) == 1
+
+
+class TestSetParamAnchored:
+    def test_set_param_starts_chain(self):
+        query = parse_query(
+            "select b.price from $V v, S1:billing b where b.trId = v.trId")
+        order = left_deep_order(query)
+        assert order[0].alias == "v"
+
+    def test_in_predicate_placed_with_its_table(self):
+        query = parse_query(
+            "select a.x, b.y from S1:a a, S2:b b "
+            "where b.k = a.k and b.y in $V")
+        steps = plan_steps(query, "Q")
+        in_steps = [s for s in steps
+                    if any(isinstance(p, InSet) for p in s.query.where)]
+        assert len(in_steps) == 1
+        assert "b" in {f.alias for f in in_steps[0].query.from_items}
+
+
+class TestPredicatePlacement:
+    def test_local_filters_stay_local(self):
+        query = parse_query(
+            "select c.v from S1:a a, S2:c c "
+            "where a.k = $k and a.flag = 'on' and c.ref = a.k")
+        steps = plan_steps(query, "Q")
+        first_predicates = [str(p) for p in steps[0].query.where]
+        assert any("flag" in p for p in first_predicates)
+        assert all("c." not in p for p in first_predicates)
+
+    def test_cardinality_guides_start(self):
+        stats = StatisticsCatalog()
+        stats.set_stats("S1", "big", TableStats(cardinality=100000))
+        stats.set_stats("S2", "small", TableStats(cardinality=10))
+        query = parse_query(
+            "select b.x from S1:big b, S2:small s where b.k = s.k")
+        order = left_deep_order(query, stats)
+        assert order[0].alias == "s"

@@ -1,0 +1,106 @@
+"""Property-based whole-pipeline tests.
+
+The headline invariant — conceptual evaluation ≡ optimized evaluation, with
+DTD conformance and constraint enforcement — is checked over randomized
+worlds: random procedure DAGs (recursion shapes), random coverage/visit
+patterns, random report dates, merging on/off.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aig import ConceptualEvaluator
+from repro.constraints import check_constraints
+from repro.hospital import build_hospital_aig, make_sources
+from repro.relational import Network
+from repro.runtime import Middleware
+from repro.xmlmodel import conforms_to
+
+AIG = build_hospital_aig()
+
+TRIDS = [f"t{i}" for i in range(8)]
+
+edges = st.lists(
+    st.tuples(st.sampled_from(TRIDS), st.sampled_from(TRIDS)),
+    max_size=10, unique=True).map(
+        # keep the hierarchy acyclic: edges point "forward" only
+        lambda pairs: [(a, b) for a, b in pairs if a < b])
+
+visits = st.lists(
+    st.tuples(st.sampled_from(["s1", "s2", "s3"]),
+              st.sampled_from(TRIDS),
+              st.sampled_from(["d1", "d2"])),
+    max_size=10)
+
+covers = st.lists(
+    st.tuples(st.sampled_from(["p1", "p2"]), st.sampled_from(TRIDS)),
+    max_size=10, unique=True)
+
+
+def build_world(procedure_edges, visit_rows, cover_rows):
+    sources = make_sources()
+    sources["DB1"].load_rows("patient", [("s1", "Ann", "p1"),
+                                         ("s2", "Bob", "p2"),
+                                         ("s3", "Cyd", "p1")])
+    sources["DB1"].load_rows("visitInfo", visit_rows)
+    sources["DB2"].load_rows("cover", cover_rows)
+    sources["DB4"].load_rows("treatment", [(t, f"name-{t}") for t in TRIDS])
+    sources["DB4"].load_rows("procedure", procedure_edges)
+    sources["DB3"].load_rows("billing",
+                             [(t, str(10 + i)) for i, t in enumerate(TRIDS)])
+    return sources
+
+
+@settings(deadline=None, max_examples=20,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(procedure_edges=edges, visit_rows=visits, cover_rows=covers,
+       date=st.sampled_from(["d1", "d2"]),
+       merging=st.booleans())
+def test_paths_agree_on_random_worlds(procedure_edges, visit_rows,
+                                      cover_rows, date, merging):
+    sources = build_world(procedure_edges, visit_rows, cover_rows)
+    conceptual = ConceptualEvaluator(
+        AIG, list(sources.values())).evaluate({"date": date})
+    report = Middleware(AIG, sources, Network.mbps(1.0), merging=merging,
+                        unfold_depth=2).evaluate({"date": date})
+    assert report.document == conceptual
+    assert conforms_to(report.document, AIG.dtd)
+    assert check_constraints(report.document, AIG.constraints) == []
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(procedure_edges=edges, depth=st.integers(min_value=1, max_value=9))
+def test_any_sufficient_depth_gives_same_document(procedure_edges, depth):
+    """Once the unfolding covers the data, deeper unfoldings change
+    nothing — the document is determined by the data, not the estimate."""
+    sources = build_world(procedure_edges,
+                          [("s1", "t0", "d1"), ("s1", "t1", "d1")],
+                          [("p1", "t0"), ("p1", "t1")])
+    reference = ConceptualEvaluator(
+        AIG, list(sources.values())).evaluate({"date": "d1"})
+    report = Middleware(AIG, sources, Network.mbps(1.0),
+                        unfold_depth=depth).evaluate({"date": "d1"})
+    assert report.document == reference
+
+
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(visit_rows=visits)
+def test_guard_abort_iff_checker_violation(visit_rows):
+    """The compiled guards abort exactly when the direct checker would
+    reject the (constraint-free) document."""
+    from repro.errors import EvaluationAborted
+    plain_aig = build_hospital_aig(with_constraints=False)
+    sources = build_world([("t0", "t5")], visit_rows,
+                          [("p1", t) for t in TRIDS])
+    # remove one billing row to make some worlds violate the IC
+    sources["DB3"].execute_script("DELETE FROM billing WHERE trId='t5'")
+    document = ConceptualEvaluator(
+        plain_aig, list(sources.values())).evaluate({"date": "d1"})
+    violated = bool(check_constraints(document, AIG.constraints))
+    try:
+        Middleware(AIG, sources, Network.mbps(1.0)).evaluate({"date": "d1"})
+        aborted = False
+    except EvaluationAborted:
+        aborted = True
+    assert aborted == violated

@@ -1,0 +1,139 @@
+"""Detail tests for QDG construction: path encoding, context chains,
+collect grouping, guards as SQL, and the DOT export."""
+
+import pytest
+
+from repro.compilation import specialize
+from repro.optimizer import CostModel, build_qdg
+from repro.relational import Network, StatisticsCatalog
+from repro.relational.source import MEDIATOR_NAME
+from repro.runtime import Middleware, unfold_aig
+from repro.runtime.engine import Engine, ID_COLUMN
+from repro.optimizer.schedule import schedule
+from repro.sqlq.analyze import temp_inputs
+
+
+def pipeline(hospital_aig, sources, depth=3):
+    stats = StatisticsCatalog.from_sources(list(sources.values()))
+    spec = specialize(unfold_aig(hospital_aig, depth), stats)
+    graph, tagging_plan = build_qdg(spec, stats)
+    estimates = CostModel(stats).estimate_graph(graph)
+    network = Network.mbps(1.0)
+    plan = schedule(graph, estimates, network)
+    engine = Engine(graph, plan, sources, network)
+    return graph, tagging_plan, engine.run({"date": "d1"})
+
+
+class TestPathEncoding:
+    def test_parent_ids_reference_anchor_rows(self, hospital_aig,
+                                              tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        patient_path = next(p for p in tagging_plan.table_of
+                            if p.endswith("/patient#3")
+                            or p.split("/")[-1].startswith("patient"))
+        patient_table = result.cache[tagging_plan.table_of[patient_path]]
+        patient_ids = set(patient_table.column(ID_COLUMN))
+        # every top-level treatment row points at an existing patient row
+        treatment_path = next(p for p in tagging_plan.table_of
+                              if "treatments" in p and p.count("treatment")
+                              == 2)
+        treatment_table = result.cache[tagging_plan.table_of[treatment_path]]
+        assert set(treatment_table.column("__parent")) <= patient_ids
+
+    def test_nested_levels_chain_parents(self, hospital_aig, tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        level_paths = sorted(p for p in tagging_plan.table_of
+                             if "procedure" in p)
+        assert level_paths  # at least one nested level
+        for path in level_paths:
+            table = result.cache[tagging_plan.table_of[path]]
+            parent_path = max((p for p in tagging_plan.table_of
+                               if p != path and path.startswith(p)),
+                              key=len, default=None)
+            if parent_path and len(table):
+                parent_table = result.cache[tagging_plan.table_of[parent_path]]
+                assert set(table.column("__parent")) <= set(
+                    parent_table.column(ID_COLUMN))
+
+    def test_root_level_table_has_no_parent_column(self, hospital_aig,
+                                                   tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        patient_path = min(tagging_plan.table_of, key=len)
+        table = result.cache[tagging_plan.table_of[patient_path]]
+        assert "__parent" not in table.columns
+
+
+class TestCollectNodes:
+    def test_bill_collect_grouped_per_patient(self, hospital_aig,
+                                              tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        collect_name = next(n for n in graph.nodes
+                            if n.startswith("collect:inh:"))
+        collected = result.cache[collect_name]
+        assert "__group" in collected.columns
+        # Ann (patient with recursion) contributes 3 trIds, Bob 1
+        groups: dict = {}
+        for row in collected.rows:
+            key = row[collected.columns.index("__group")]
+            groups.setdefault(key, set()).add(
+                row[collected.columns.index("trId")])
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 3]
+
+    def test_collect_distinct_for_set_members(self, hospital_aig,
+                                              tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        for name, node in graph.nodes.items():
+            if node.kind == "collect" and "__c0" not in name:
+                rows = result.cache[name].rows
+                deduped = {row[:-1] for row in
+                           (r[:len(result.cache[name].columns) - 1]
+                            for r in rows)}
+                # set members: no duplicate (fields, group) pairs
+                plain = [row[:-1] for row in rows]
+                assert len(plain) == len(set(plain))
+
+    def test_guard_sql_runs_at_mediator(self, hospital_aig, tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        guard_nodes = [n for n in graph.nodes.values() if n.kind == "guard"]
+        assert guard_nodes
+        for node in guard_nodes:
+            assert node.source == MEDIATOR_NAME
+            assert len(result.cache[node.name]) == 0  # no violations
+
+
+class TestStructure:
+    def test_intermediate_steps_not_shipped_for_tagging(self, hospital_aig,
+                                                        tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        tagging_tables = set(tagging_plan.table_of.values()) | set(
+            tagging_plan.condition_of.values())
+        for name, node in graph.nodes.items():
+            if node.kind == "step" and name not in tagging_tables:
+                assert not node.ship_to_mediator, name
+
+    def test_every_input_is_a_node(self, hospital_aig, tiny_sources):
+        graph, tagging_plan, result = pipeline(hospital_aig, tiny_sources)
+        for node in graph.nodes.values():
+            for producer in node.inputs:
+                assert graph.resolve(producer) in graph.nodes
+
+    def test_dot_export(self, hospital_aig, tiny_sources):
+        stats = StatisticsCatalog.from_sources(list(tiny_sources.values()))
+        spec = specialize(unfold_aig(hospital_aig, 2), stats)
+        graph, _ = build_qdg(spec, stats)
+        estimates = CostModel(stats).estimate_graph(graph)
+        dot = graph.to_dot(estimates)
+        assert dot.startswith("digraph qdg {") and dot.endswith("}")
+        assert 'label="DB1"' in dot
+        assert "->" in dot and "rows" in dot
+
+    def test_node_count_grows_with_unfolding(self, hospital_aig,
+                                             tiny_sources):
+        stats = StatisticsCatalog.from_sources(list(tiny_sources.values()))
+        sizes = []
+        for depth in (2, 4, 6):
+            spec = specialize(unfold_aig(hospital_aig, depth), stats)
+            graph, _ = build_qdg(spec, stats)
+            sizes.append(len(graph))
+        assert sizes[0] < sizes[1] < sizes[2]

@@ -1,0 +1,255 @@
+"""Tests for the XML tree model, serialization, and DTD conformance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.dtd import parse_dtd
+from repro.xmlmodel import (
+    XMLElement,
+    XMLText,
+    conforms_to,
+    element,
+    parse_xml,
+    serialize,
+    text,
+    validate_tree,
+)
+
+
+class TestNodes:
+    def test_element_constructor_builds_text_children(self):
+        item = element("item", element("trId", "t1"), element("price", "9"))
+        assert item.tag == "item"
+        assert [c.tag for c in item.child_elements()] == ["trId", "price"]
+        assert item.subelement_value("trId") == "t1"
+
+    def test_append_reparents(self):
+        a, b = element("a"), element("b")
+        child = element("c")
+        a.append(child)
+        b.append(child)
+        assert child.parent is b
+        assert a.children == []
+
+    def test_remove_clears_parent(self):
+        a = element("a", element("b"))
+        b = a.children[0]
+        a.remove(b)
+        assert b.parent is None and a.children == []
+
+    def test_root_and_depth(self):
+        a = element("a", element("b", element("c")))
+        c = a.children[0].children[0]
+        assert c.root() is a
+        assert c.depth() == 2 and a.depth() == 0
+
+    def test_text_value_concatenates_descendants(self):
+        tree = element("a", element("b", "x"), element("c", element("d", "y")))
+        assert tree.text_value() == "xy"
+
+    def test_find_and_find_all(self):
+        tree = element("a", element("b", "1"), element("c"), element("b", "2"))
+        assert tree.find("b").text_value() == "1"
+        assert [e.text_value() for e in tree.find_all("b")] == ["1", "2"]
+        assert tree.find("nope") is None
+
+    def test_iter_preorder(self):
+        tree = element("a", element("b", element("c")), element("d"))
+        assert [e.tag for e in tree.iter()] == ["a", "b", "c", "d"]
+        assert [e.tag for e in tree.iter("c")] == ["c"]
+
+    def test_structural_equality(self):
+        make = lambda: element("a", element("b", "x"))
+        assert make() == make()
+        assert make() != element("a", element("b", "y"))
+        assert make() != element("a")
+
+    def test_nodes_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(element("a"))
+        with pytest.raises(TypeError):
+            hash(text("x"))
+
+    def test_replace_with_children_splices(self):
+        state = element("st", element("x", "1"), element("y", "2"))
+        tree = element("a", element("pre"), state, element("post"))
+        tree.replace_with_children(state)
+        assert [c.tag for c in tree.child_elements()] == ["pre", "x", "y", "post"]
+        assert tree.children[1].parent is tree
+
+    def test_path(self):
+        tree = element("a", element("b", element("c")))
+        c = tree.children[0].children[0]
+        assert c.path() == "a/b/c"
+
+    def test_size_counts_all_nodes(self):
+        tree = element("a", element("b", "x"), element("c"))
+        # a, b, text(x), c
+        assert tree.size() == 4
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(TypeError):
+            XMLElement("")
+        with pytest.raises(TypeError):
+            XMLText(7)
+
+    def test_subelement_value_missing_is_none(self):
+        assert element("a").subelement_value("b") is None
+
+
+class TestSerialize:
+    def test_compact_roundtrip(self):
+        tree = element("a", element("b", "hi"), element("c"))
+        assert parse_xml(serialize(tree)) == tree
+
+    def test_indented_roundtrip(self):
+        tree = element("a", element("b", "hi & <there>"), element("c"))
+        assert parse_xml(serialize(tree, indent=2)) == tree
+
+    def test_escaping(self):
+        tree = element("a", "x < y & z > 'w' \"q\"")
+        rendered = serialize(tree)
+        assert "&lt;" in rendered and "&amp;" in rendered
+        assert parse_xml(rendered) == tree
+
+    def test_empty_element_self_closes(self):
+        assert serialize(element("a")) == "<a/>"
+        assert parse_xml("<a/>") == element("a")
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_xml("<a><b></a></b>")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_xml("<a/>extra")
+
+    def test_xml_declaration_and_comments_skipped(self):
+        tree = parse_xml("<?xml version='1.0'?><!-- hi --><a><b>x</b></a>")
+        assert tree == element("a", element("b", "x"))
+
+    text_strategy = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        min_size=1).filter(lambda s: not s.isspace())
+
+    @given(value=text_strategy)
+    def test_roundtrip_arbitrary_text(self, value):
+        tree = element("a", element("b", value))
+        assert parse_xml(serialize(tree)) == tree
+        assert parse_xml(serialize(tree, indent=2)) == tree
+
+    @given(tags=st.lists(st.sampled_from(["x", "y", "z"]), max_size=6))
+    def test_roundtrip_arbitrary_shapes(self, tags):
+        tree = element("root")
+        cursor = tree
+        for tag in tags:
+            cursor = cursor.append(element(tag))
+        assert parse_xml(serialize(tree)) == tree
+
+
+HOSPITAL_DTD = """
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+"""
+
+
+class TestValidate:
+    def setup_method(self):
+        self.dtd = parse_dtd(HOSPITAL_DTD)
+
+    def make_treatment(self, trid, children=()):
+        return element("treatment", element("trId", trid),
+                       element("tname", "n"),
+                       element("procedure", *children))
+
+    def make_patient(self, trids):
+        treatments = element("treatments",
+                             *[self.make_treatment(t) for t in trids])
+        bill = element("bill", *[element("item", element("trId", t),
+                                         element("price", "1"))
+                                 for t in trids])
+        return element("patient", element("SSN", "s"),
+                       element("pname", "p"), treatments, bill)
+
+    def test_valid_document(self):
+        report = element("report", self.make_patient(["t1", "t2"]))
+        assert conforms_to(report, self.dtd)
+
+    def test_recursive_nesting_validates(self):
+        nested = self.make_treatment("t1", [self.make_treatment("t2")])
+        patient = self.make_patient([])
+        patient.find("treatments").append(nested)
+        report = element("report", patient)
+        assert conforms_to(report, self.dtd)
+
+    def test_wrong_root(self):
+        problems = validate_tree(element("patient"), self.dtd)
+        assert any("root" in p for p in problems)
+
+    def test_missing_child(self):
+        bad = element("report",
+                      element("patient", element("SSN", "s")))
+        problems = validate_tree(bad, self.dtd)
+        assert any("patient" in p for p in problems)
+
+    def test_wrong_order(self):
+        bad_patient = self.make_patient([])
+        # swap SSN and pname
+        ssn, pname = bad_patient.children[0], bad_patient.children[1]
+        bad_patient.children[0], bad_patient.children[1] = pname, ssn
+        problems = validate_tree(element("report", bad_patient), self.dtd)
+        assert problems
+
+    def test_undeclared_element(self):
+        bad = element("report", element("intruder"))
+        problems = validate_tree(bad, self.dtd)
+        assert any("intruder" in p for p in problems)
+
+    def test_text_where_element_expected(self):
+        bad = element("report", "oops")
+        assert not conforms_to(bad, self.dtd)
+
+    def test_star_accepts_zero(self):
+        assert conforms_to(element("report"), self.dtd)
+
+    def test_pcdata_leaf_with_no_text_rejected(self):
+        # SSN requires exactly one text node
+        patient = self.make_patient([])
+        patient.find("SSN").children.clear()
+        assert not conforms_to(element("report", patient), self.dtd)
+
+    def test_choice_and_optional_models(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b | c)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+        """)
+        assert conforms_to(element("a", element("b")), dtd)
+        assert conforms_to(element("a", element("c")), dtd)
+        assert not conforms_to(element("a"), dtd)
+        assert not conforms_to(element("a", element("b"), element("c")), dtd)
+
+    def test_general_regex_models(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b+, (c | d)?)>
+            <!ELEMENT b EMPTY>
+            <!ELEMENT c EMPTY>
+            <!ELEMENT d EMPTY>
+        """)
+        assert conforms_to(element("a", element("b")), dtd)
+        assert conforms_to(
+            element("a", element("b"), element("b"), element("d")), dtd)
+        assert not conforms_to(element("a", element("c")), dtd)
+        assert not conforms_to(
+            element("a", element("b"), element("c"), element("d")), dtd)
+
+    @given(count=st.integers(min_value=0, max_value=8))
+    def test_star_accepts_any_count(self, count):
+        report = element("report", *[self.make_patient([]) for _ in range(count)])
+        assert conforms_to(report, self.dtd)
