@@ -5,6 +5,7 @@ computed once per session and cached; pytest-benchmark then times the
 representative kernels without re-running whole grids per round.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -17,6 +18,11 @@ _SOURCES = {}
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Machine-readable companion to the results/*.txt tables: one JSON object
+#: per benchmark (wall times, modeled response_time, parallel_speedup, …)
+#: so the perf trajectory is trackable across PRs.
+BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
+
 
 def report(name: str, text: str) -> str:
     """Print a result table and persist it under benchmarks/results/."""
@@ -24,6 +30,19 @@ def report(name: str, text: str) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return text
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Merge one benchmark's metrics into ``BENCH_engine.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}   # corrupt file: start over rather than fail the bench
+    data[name] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def dataset_for(scale):

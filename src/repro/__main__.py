@@ -2,9 +2,11 @@
 
 Commands:
 
-* ``demo [--scale S] [--date D] [--no-merge] [--dynamic]`` — generate a
-  hospital dataset and produce one day's report through the middleware,
-  printing summary statistics (add ``--xml`` to dump the document).
+* ``demo [--scale S] [--date D] [--no-merge] [--dynamic] [--workers N]`` —
+  generate a hospital dataset and produce one day's report through the
+  middleware, printing summary statistics (add ``--xml`` to dump the
+  document; ``--workers N`` or ``--workers auto`` executes per-source
+  query sequences concurrently).
 * ``check [--scale S]`` — the full cross-path equivalence check: conceptual
   vs. optimized evaluation, DTD conformance, constraint satisfaction.
 * ``info`` — version and component inventory.
@@ -28,7 +30,8 @@ def _demo(args) -> int:
         aig, sources, Network.mbps(args.mbps),
         merging=not args.no_merge,
         scheduling="dynamic" if args.dynamic else "static",
-        unfold_depth="auto")
+        unfold_depth="auto",
+        workers=args.workers)
     report = middleware.evaluate({"date": date})
     patients = len(report.document.find_all("patient"))
     print(f"report for {date} ({args.scale} dataset): "
@@ -38,6 +41,9 @@ def _demo(args) -> int:
           f"unfold depth {report.unfold_depth}); "
           f"simulated response {report.response_time:.2f}s at "
           f"{args.mbps:g} Mbps, {report.bytes_shipped} bytes shipped")
+    print(f"execution: {report.workers} worker lane(s), "
+          f"{report.measured_seconds:.3f}s wall, "
+          f"parallel speedup {report.parallel_speedup:.2f}x")
     if args.xml:
         print(serialize(report.document, indent=2))
     return 0
@@ -81,6 +87,21 @@ def _explain(args) -> int:
     return 0
 
 
+def _workers_value(text: str):
+    """argparse type for ``--workers``: a positive int or ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}")
+    return value
+
+
 def _info(args) -> int:
     import repro
     print(f"repro {repro.__version__} — Attribute Integration Grammars")
@@ -116,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--mbps", type=float, default=1.0)
     demo.add_argument("--no-merge", action="store_true")
     demo.add_argument("--dynamic", action="store_true")
+    demo.add_argument("--workers", type=_workers_value, default=1,
+                      metavar="N|auto",
+                      help="concurrent source lanes (default 1; 'auto' = "
+                           "one per source)")
     demo.add_argument("--xml", action="store_true",
                       help="print the generated document")
     demo.set_defaults(handler=_demo)

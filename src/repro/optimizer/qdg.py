@@ -33,6 +33,7 @@ consumes.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 
 from repro.errors import CompilationError, PlanError
@@ -137,17 +138,16 @@ class QueryDependencyGraph:
             for producer in self.producer_names(node):
                 indegree[node.name] += 1
                 consumers[producer].append(node.name)
-        ready = sorted(name for name, degree in indegree.items()
-                       if degree == 0)
+        ready = [name for name, degree in indegree.items() if degree == 0]
+        heapq.heapify(ready)
         ordered: list[QueryNode] = []
         while ready:
-            current = ready.pop(0)
+            current = heapq.heappop(ready)
             ordered.append(self.nodes[current])
             for consumer in consumers[current]:
                 indegree[consumer] -= 1
                 if indegree[consumer] == 0:
-                    ready.append(consumer)
-            ready.sort()
+                    heapq.heappush(ready, consumer)
         if len(ordered) != len(self.nodes):
             raise PlanError("query dependency graph is cyclic")
         return ordered

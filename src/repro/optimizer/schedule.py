@@ -10,6 +10,7 @@ queries in decreasing ℓevel order.  Quadratic time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.relational.network import Network
@@ -62,24 +63,28 @@ def _fix_local_order(graph, sequence: list[str]) -> list[str]:
     invert an edge; a stable topological pass repairs that.
     """
     position = {name: index for index, name in enumerate(sequence)}
+    indegree = {name: 0 for name in sequence}
+    dependents: dict[str, list[str]] = {name: [] for name in sequence}
+    for name in sequence:
+        for producer in graph.producer_names(graph.nodes[name]):
+            if producer in position:
+                indegree[name] += 1
+                dependents[producer].append(name)
+    ready = [position[name] for name in sequence if indegree[name] == 0]
+    heapq.heapify(ready)
     result: list[str] = []
-    placed: set[str] = set()
-    remaining = list(sequence)
-    while remaining:
-        for name in remaining:
-            same_source_deps = [producer for producer
-                                in graph.producer_names(graph.nodes[name])
-                                if producer in position]
-            if all(dep in placed for dep in same_source_deps):
-                result.append(name)
-                placed.add(name)
-                remaining.remove(name)
-                break
-        else:
-            # Cross-source cycle would have been caught earlier; give up
-            # preserving order rather than loop forever.
-            result.extend(remaining)
-            break
+    while ready:
+        name = sequence[heapq.heappop(ready)]
+        result.append(name)
+        for consumer in dependents[name]:
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                heapq.heappush(ready, position[consumer])
+    if len(result) != len(sequence):
+        # Cross-source cycle would have been caught earlier; give up
+        # preserving order rather than loop forever.
+        placed = set(result)
+        result.extend(name for name in sequence if name not in placed)
     return result
 
 

@@ -28,6 +28,11 @@ class Network:
         self.bandwidth = bandwidth_bytes_per_s
         self.latency = latency_seconds
         self.link_bandwidths = dict(link_bandwidths or {})
+        # (source, target) -> (fixed_seconds, seconds_per_byte).  The engine
+        # prices every QDG edge through trans_cost; the route and bandwidth
+        # lookups depend only on the endpoint pair, so they are resolved once.
+        self._pair_coefficients: dict[tuple[str, str],
+                                      tuple[float, float]] = {}
 
     @classmethod
     def mbps(cls, megabits_per_second: float,
@@ -44,6 +49,25 @@ class Network:
     def _hop_cost(self, source: str, target: str, nbytes: float) -> float:
         return self.latency + nbytes / self._hop_bandwidth(source, target)
 
+    def _coefficients(self, source: str, target: str) -> tuple[float, float]:
+        """Resolved ``(fixed_seconds, seconds_per_byte)`` for a pair."""
+        key = (source, target)
+        cached = self._pair_coefficients.get(key)
+        if cached is not None:
+            return cached
+        if source == target:
+            coefficients = (0.0, 0.0)
+        elif source == MEDIATOR_NAME or target == MEDIATOR_NAME:
+            coefficients = (self.latency,
+                            1.0 / self._hop_bandwidth(source, target))
+        else:
+            coefficients = (
+                2.0 * self.latency,
+                1.0 / self._hop_bandwidth(source, MEDIATOR_NAME)
+                + 1.0 / self._hop_bandwidth(MEDIATOR_NAME, target))
+        self._pair_coefficients[key] = coefficients
+        return coefficients
+
     def trans_cost(self, source: str, target: str, nbytes: float) -> float:
         """Seconds to move ``nbytes`` from ``source`` to ``target``.
 
@@ -54,10 +78,8 @@ class Network:
             return 0.0
         if nbytes < 0:
             raise ValueError("byte count must be non-negative")
-        if source == MEDIATOR_NAME or target == MEDIATOR_NAME:
-            return self._hop_cost(source, target, nbytes)
-        return (self._hop_cost(source, MEDIATOR_NAME, nbytes)
-                + self._hop_cost(MEDIATOR_NAME, target, nbytes))
+        fixed, per_byte = self._coefficients(source, target)
+        return fixed + nbytes * per_byte
 
     def __repr__(self) -> str:
         mbps_value = self.bandwidth / MBPS

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import itertools
 import sqlite3
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError
 from repro.relational.schema import SourceSchema
@@ -24,6 +25,29 @@ MEDIATOR_NAME = "Mediator"
 
 _shared_memory_counter = itertools.count(1)
 
+#: Compiled-statement cache size per connection.  The execution engine
+#: re-issues structurally identical statements (shipping inserts, cached
+#: plan queries across evaluations), so a larger cache means SQLite
+#: re-uses prepared statements instead of re-parsing.
+STATEMENT_CACHE_SIZE = 256
+
+_interned_columns: dict[tuple, list] = {}
+
+
+def intern_columns(names) -> list[str]:
+    """A shared column-name list for ``names`` (one allocation per shape).
+
+    Query plans produce thousands of :class:`ResultSet` objects with a
+    handful of distinct column layouts; interning keeps one list per
+    layout instead of one per result.  Callers must treat the returned
+    list as immutable (copy before mutating).
+    """
+    key = tuple(names)
+    shared = _interned_columns.get(key)
+    if shared is None:
+        shared = _interned_columns.setdefault(key, list(key))
+    return shared
+
 
 @dataclass
 class ResultSet:
@@ -31,6 +55,8 @@ class ResultSet:
 
     columns: list[str]
     rows: list[tuple]
+    _width_cache: int | None = field(default=None, init=False, repr=False,
+                                     compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -58,7 +84,14 @@ class ResultSet:
                          [tuple(row[i] for i in indexes) for row in self.rows])
 
     def width_bytes(self) -> int:
-        """Actual serialized size estimate (used for communication costs)."""
+        """Actual serialized size estimate (used for communication costs).
+
+        Computed once and cached — the engine prices every edge and every
+        mediator shipment of a result, and rows never change after the
+        result is built.
+        """
+        if self._width_cache is not None:
+            return self._width_cache
         total = 0
         for row in self.rows:
             for value in row:
@@ -69,6 +102,7 @@ class ResultSet:
                 else:
                     total += len(str(value))
             total += 2 * len(row)  # separators / framing
+        self._width_cache = total
         return total
 
 
@@ -79,6 +113,16 @@ class DataSource:
     are created on demand and live beside them.  All execution is instrumented:
     ``last_execution_seconds`` holds the wall-clock time of the most recent
     ``execute`` call, and ``total_queries``/``total_seconds`` accumulate.
+
+    Thread-safety rules (see docs/INTERNALS.md, "Execution concurrency
+    model"): a source is *single-flight* — at most one query may run against
+    it at a time — but that query may come from any thread.  The concurrent
+    executor acquires a pooled connection per source worker
+    (:meth:`acquire_connection`) and returns it afterwards; pooled
+    connections keep their compiled-statement caches warm across runs.
+    Connections are opened with ``check_same_thread=False`` because the
+    pool hands a connection to whichever worker thread serves the source;
+    exclusivity is enforced by the executor, not by SQLite.
     """
 
     def __init__(self, schema: SourceSchema, path: str | None = None):
@@ -86,22 +130,58 @@ class DataSource:
         self.name = schema.source
         if path is None:
             # A named shared-cache in-memory database: other connections in
-            # this process (the Federation) can ATTACH it by URI.
+            # this process (the Federation, pooled worker connections) can
+            # open or ATTACH it by URI and see the same data.
             self.uri = (f"file:repro_{schema.source}_"
                         f"{next(_shared_memory_counter)}"
                         f"?mode=memory&cache=shared")
         else:
             self.uri = f"file:{path}"
-        # Autocommit (isolation_level=None): shared-cache readers must not
-        # hold transactions open, or cross-connection access deadlocks.
-        self.connection = sqlite3.connect(self.uri, uri=True,
-                                          isolation_level=None)
-        self.connection.execute("PRAGMA synchronous=OFF")
+        self._closed = False
+        self._pool: list[sqlite3.Connection] = []
+        self._pool_lock = threading.Lock()
+        self.connection = self._connect()
         self.last_execution_seconds = 0.0
         self.total_queries = 0
         self.total_seconds = 0.0
         self._temp_counter = 0
         self._create_base_tables()
+
+    def _connect(self) -> sqlite3.Connection:
+        # Autocommit (isolation_level=None): shared-cache readers must not
+        # hold transactions open, or cross-connection access deadlocks.
+        connection = sqlite3.connect(
+            self.uri, uri=True, isolation_level=None,
+            check_same_thread=False,
+            cached_statements=STATEMENT_CACHE_SIZE)
+        connection.execute("PRAGMA synchronous=OFF")
+        return connection
+
+    # ------------------------------------------------------------------
+    # connection pool (one leased connection per concurrent worker)
+    # ------------------------------------------------------------------
+    def acquire_connection(self) -> sqlite3.Connection:
+        """Lease a connection to this source's database.
+
+        Reuses a pooled connection when one is free (keeping its prepared
+        statements) and opens a fresh one otherwise.  The caller must give
+        it back with :meth:`release_connection`.
+        """
+        if self._closed:
+            raise EvaluationError(
+                f"source {self.name!r} is closed")
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def release_connection(self, connection: sqlite3.Connection) -> None:
+        """Return a leased connection to the pool for later reuse."""
+        with self._pool_lock:
+            if self._closed:
+                connection.close()
+            else:
+                self._pool.append(connection)
 
     def _create_base_tables(self) -> None:
         for relation_schema in self.schema.relations:
@@ -122,17 +202,24 @@ class DataSource:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, sql: str, params: tuple = ()) -> ResultSet:
-        """Run a SELECT, returning a ResultSet; timing is recorded."""
+    def execute(self, sql: str, params: tuple = (),
+                connection: sqlite3.Connection | None = None) -> ResultSet:
+        """Run a SELECT, returning a ResultSet; timing is recorded.
+
+        ``connection`` selects a leased pool connection (concurrent
+        executor); the source's own connection is used by default.
+        """
+        conn = connection if connection is not None else self.connection
         start = time.perf_counter()
         try:
-            cursor = self.connection.execute(sql, params)
+            cursor = conn.execute(sql, params)
             rows = cursor.fetchall()
         except sqlite3.Error as error:
             raise EvaluationError(
                 f"source {self.name!r}: SQL failed: {error}\n  {sql}") from error
         elapsed = time.perf_counter() - start
-        columns = ([description[0] for description in cursor.description]
+        columns = (intern_columns(description[0] for description
+                                  in cursor.description)
                    if cursor.description else [])
         self.last_execution_seconds = elapsed
         self.total_queries += 1
@@ -147,23 +234,38 @@ class DataSource:
     # shipped inputs
     # ------------------------------------------------------------------
     def create_temp_table(self, columns: list[str], rows: list[tuple],
-                          name: str | None = None) -> str:
+                          name: str | None = None,
+                          connection: sqlite3.Connection | None = None) -> str:
         """Materialize shipped tuples as a temp table; returns its name.
 
         This is the landing step of the paper's "results are then shipped
-        (via the mediator) to every dependent site".
+        (via the mediator) to every dependent site".  The whole shipment
+        lands as one batch: DROP/CREATE plus a single ``executemany``
+        insert inside one explicit transaction, so SQLite journals the
+        table once instead of once per statement.
         """
+        conn = connection if connection is not None else self.connection
         if name is None:
             self._temp_counter += 1
             name = f"__ship_{self._temp_counter}"
         quoted = ", ".join(f'"{c}"' for c in columns)
-        self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
-        self.connection.execute(f'CREATE TABLE "{name}" ({quoted})')
-        if rows:
-            placeholders = ", ".join("?" * len(columns))
-            self.connection.executemany(
-                f'INSERT INTO "{name}" VALUES ({placeholders})', rows)
-        self.connection.commit()
+        try:
+            conn.execute("BEGIN")
+            conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+            conn.execute(f'CREATE TABLE "{name}" ({quoted})')
+            if rows:
+                placeholders = ", ".join("?" * len(columns))
+                conn.executemany(
+                    f'INSERT INTO "{name}" VALUES ({placeholders})', rows)
+            conn.execute("COMMIT")
+        except sqlite3.Error as error:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise EvaluationError(
+                f"source {self.name!r}: shipping into {name!r} failed: "
+                f"{error}") from error
         return name
 
     def drop_table(self, name: str) -> None:
@@ -184,6 +286,11 @@ class DataSource:
         self.total_seconds = 0.0
 
     def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            pooled, self._pool = self._pool, []
+        for connection in pooled:
+            connection.close()
         self.connection.close()
 
     def __repr__(self) -> str:
@@ -202,9 +309,11 @@ class Mediator(DataSource):
     def __init__(self):
         super().__init__(SourceSchema(MEDIATOR_NAME, ()))
 
-    def cache_result(self, table_name: str, result: ResultSet) -> str:
+    def cache_result(self, table_name: str, result: ResultSet,
+                     connection: sqlite3.Connection | None = None) -> str:
         """Cache a shipped query output under ``table_name``."""
-        return self.create_temp_table(result.columns, result.rows, table_name)
+        return self.create_temp_table(result.columns, result.rows, table_name,
+                                      connection=connection)
 
 
 class Federation:

@@ -50,5 +50,11 @@ class DynamicScheduler:
         return max(ready_names,
                    key=lambda name: (self._priority.get(name, 0.0), name))
 
+    def order(self, ready_names: list[str]) -> list[str]:
+        """Ready nodes ranked by decreasing ℓevel priority (ties by name) —
+        what the executor drains when filling idle source lanes."""
+        return sorted(ready_names,
+                      key=lambda name: (-self._priority.get(name, 0.0), name))
+
     def priority(self, name: str) -> float:
         return self._priority.get(name, 0.0)

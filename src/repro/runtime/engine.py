@@ -32,6 +32,7 @@ from repro.relational.source import (
     MEDIATOR_NAME,
     Mediator,
     ResultSet,
+    intern_columns,
 )
 from repro.sqlq.analyze import temp_inputs
 from repro.sqlq.render import render_sqlite
@@ -63,6 +64,10 @@ class EngineResult:
     queries_executed: int = 0
     bytes_shipped: int = 0
     violations: list = field(default_factory=list)
+    #: Sum of per-node execution time (what a one-at-a-time run would have
+    #: spent) divided by the measured wall time of this run.
+    parallel_speedup: float = 1.0
+    workers: int = 1
 
 
 class Engine:
@@ -75,7 +80,9 @@ class Engine:
                  per_input_row_seconds: float | None = None,
                  per_output_row_seconds: float | None = None,
                  dynamic_scheduler=None,
-                 violation_mode: str = "abort"):
+                 violation_mode: str = "abort",
+                 workers: int | str = 1,
+                 emulate_overheads: bool = False):
         from repro.optimizer.cost import (PER_INPUT_ROW, PER_OUTPUT_ROW,
                                           QUERY_OVERHEAD)
         self.graph = graph
@@ -109,144 +116,32 @@ class Engine:
             raise PlanError(f"violation_mode must be 'abort' or 'report', "
                             f"got {violation_mode!r}")
         self.violation_mode = violation_mode
+        self.workers = workers
+        self.emulate_overheads = emulate_overheads
         self._physical: dict[str, str] = {}
         self._physical_counter = 0
-        self._last_rows_materialized = 0
 
     # ------------------------------------------------------------------
     def run(self, root_inh: dict) -> EngineResult:
-        started = time.perf_counter()
-        cache: dict[str, ResultSet] = {}
-        timings: dict[str, NodeTiming] = {}
-        completion: dict[str, float] = {}
-        source_ready: dict[str, float] = {}
-        bytes_shipped = 0
-        queries = 0
-        violations: list = []
+        """Execute the plan (see :mod:`repro.runtime.executor`).
 
-        position: dict[str, tuple[str, int]] = {}
-        if self.dynamic_scheduler is None:
-            for source_name, sequence in self.plan.items():
-                for index, node_name in enumerate(sequence):
-                    position[node_name] = (source_name, index)
-            for node_name in self.graph.nodes:
-                if node_name not in position:
-                    raise PlanError(
-                        f"plan does not schedule node {node_name!r}")
-
-        pending = dict(self.graph.nodes)
-        while pending:
-            progressed = False
-            for name in self._execution_candidates(pending, position):
-                node = pending[name]
-                source_name = node.source
-                if self.dynamic_scheduler is None:
-                    source_name, index = position[name]
-                    if index > 0 and \
-                            self.plan[source_name][index - 1] in pending:
-                        continue
-                producers = self.graph.producer_names(node)
-                if any(producer in pending for producer in producers):
-                    continue
-                # --- simulated start time -----------------------------
-                start = source_ready.get(source_name, 0.0)
-                for input_name in node.inputs:
-                    producer_name = self.graph.resolve(input_name)
-                    if producer_name == name:
-                        continue
-                    producer = self.graph.nodes[producer_name]
-                    slice_bytes = cache[input_name].width_bytes() \
-                        if input_name in cache else 0
-                    transfer = self.network.trans_cost(
-                        producer.source, node.source, slice_bytes)
-                    if producer.source != node.source:
-                        bytes_shipped += slice_bytes
-                    start = max(start,
-                                completion[producer_name] + transfer)
-                # --- actual execution ---------------------------------
-                self._last_rows_materialized = 0
-                eval_seconds, outputs = self._execute(node, cache, root_inh)
-                queries += 1
-                for out_name, result in outputs.items():
-                    cache[out_name] = result
-                if node.source == MEDIATOR_NAME:
-                    modeled = self.mediator_overhead
-                else:
-                    output_rows = sum(len(r) for r in outputs.values())
-                    modeled = (self.query_overhead
-                               + self.per_input_row
-                               * self._last_rows_materialized
-                               + self.per_output_row * output_rows)
-                finish = start + eval_seconds + modeled
-                completion[name] = finish
-                source_ready[source_name] = finish
-                primary = outputs.get(name)
-                output_row_count = sum(len(r) for r in outputs.values())
-                output_byte_count = sum(r.width_bytes()
-                                        for r in outputs.values())
-                timings[name] = NodeTiming(
-                    name, node.source, eval_seconds, finish,
-                    output_row_count, output_byte_count)
-                if self.dynamic_scheduler is not None:
-                    self.dynamic_scheduler.observe(
-                        name, output_row_count, output_byte_count,
-                        eval_seconds + modeled)
-                if node.kind == "guard" and primary is not None \
-                        and len(primary):
-                    if self.violation_mode == "abort":
-                        raise EvaluationAborted([node.guard.constraint])
-                    violations.append(node.guard.constraint)
-                del pending[name]
-                progressed = True
-                if self.dynamic_scheduler is not None:
-                    break  # re-rank the ready set after every completion
-            if not progressed:
-                raise PlanError(
-                    f"execution stuck; pending nodes {sorted(pending)}")
-
-        # Final shipment of tagging-relevant outputs to the mediator.
-        response = 0.0
-        for name, node in self.graph.nodes.items():
-            finish = completion[name]
-            if node.ship_to_mediator and node.source != MEDIATOR_NAME:
-                shipped = sum(
-                    cache[member].width_bytes()
-                    for member in self._member_names(node) if member in cache)
-                finish += self.network.trans_cost(node.source, MEDIATOR_NAME,
-                                                  shipped)
-                bytes_shipped += shipped
-            response = max(response, finish)
-
-        return EngineResult(cache=cache, timings=timings,
-                            response_time=response,
-                            measured_seconds=time.perf_counter() - started,
-                            queries_executed=queries,
-                            bytes_shipped=bytes_shipped,
-                            violations=violations)
+        ``workers=1`` runs the event-driven coordinator inline — one node
+        at a time, deterministically.  ``workers>1`` (or ``"auto"``) runs
+        one worker lane per data source so independent sources overlap;
+        the simulated clock is computed from completion events either way.
+        """
+        from repro.runtime.executor import PlanExecutor
+        return PlanExecutor(self).run(root_inh)
 
     # ------------------------------------------------------------------
-    def _execution_candidates(self, pending: dict,
-                              position: dict) -> list[str]:
-        """Node names to try this round, in selection order.
-
-        Static mode preserves the plan's per-source sequences (iteration
-        order is immaterial because the position check gates execution).
-        Dynamic mode ranks the *ready* nodes by the scheduler's current
-        priorities, falling back to the full pending set when nothing is
-        ready yet (the caller detects deadlock).
-        """
-        if self.dynamic_scheduler is None:
-            return list(pending)
-        ready = [name for name, node in pending.items()
-                 if not any(producer in pending
-                            for producer in
-                            self.graph.producer_names(node))]
-        if not ready:
-            return []
-        ordered = sorted(
-            ready, key=lambda name: (-self.dynamic_scheduler.priority(name),
-                                     name))
-        return ordered
+    def modeled_overhead(self, node, rows_materialized: int,
+                         output_rows: int) -> float:
+        """Modeled per-query deployment cost added to the simulated clock."""
+        if node.source == MEDIATOR_NAME:
+            return self.mediator_overhead
+        return (self.query_overhead
+                + self.per_input_row * rows_materialized
+                + self.per_output_row * output_rows)
 
     def _member_names(self, node) -> list[str]:
         members = getattr(node, "members", None)
@@ -254,51 +149,65 @@ class Engine:
             return [member.name for member in members]
         return [node.name]
 
-    def _execute(self, node, cache: dict[str, ResultSet],
-                 root_inh: dict) -> tuple[float, dict[str, ResultSet]]:
-        """Run one node; returns (measured seconds, outputs per name)."""
+    def _execute(self, node, cache: dict[str, ResultSet], root_inh: dict,
+                 connection=None, shipped: dict | None = None
+                 ) -> tuple[float, dict[str, ResultSet], int]:
+        """Run one node.
+
+        Returns ``(measured seconds, outputs per name, rows materialized)``.
+        ``connection`` selects a leased per-lane connection (concurrent
+        execution); ``shipped`` is the run's ship-once registry mapping
+        ``(source, input)`` to an already-landed temp table.
+        """
         source = self.sources.get(node.source)
         if source is None:
             raise EvaluationError(f"no data source named {node.source!r}")
         if getattr(node, "members", None):
-            return self._execute_merged(node, source, cache, root_inh)
+            return self._execute_merged(node, source, cache, root_inh,
+                                        connection, shipped)
         if node.raw_sql is not None:
-            return self._execute_raw(node, source, cache, root_inh)
-        return self._execute_query(node, source, cache, root_inh)
+            return self._execute_raw(node, source, cache, root_inh,
+                                     connection)
+        return self._execute_query(node, source, cache, root_inh,
+                                   connection, shipped)
 
     # -- plain AST queries ---------------------------------------------
-    def _execute_query(self, node, source, cache, root_inh):
+    def _execute_query(self, node, source, cache, root_inh,
+                       connection=None, shipped=None):
         materialize_started = time.perf_counter()
-        bindings = self._materialize_inputs(node.inputs, source, cache)
+        bindings, rows_materialized = self._materialize_inputs(
+            node.inputs, source, cache, connection, shipped)
         materialize_seconds = time.perf_counter() - materialize_started
         scalar_values = {param: root_inh[member]
                          for param, member in node.root_params.items()}
         sql, params = render_sqlite(node.query, scalar_values, bindings)
-        result = source.execute(sql, tuple(params))
+        result = source.execute(sql, tuple(params), connection=connection)
         if node.kind == "condition":
             result = _normalize_condition(result, node.name)
         output = _with_ids(result)
         elapsed = source.last_execution_seconds + materialize_seconds
-        return elapsed, {node.name: output}
+        return elapsed, {node.name: output}, rows_materialized
 
     # -- mediator raw SQL (collect / guard nodes) ------------------------
-    def _execute_raw(self, node, source, cache, root_inh):
+    def _execute_raw(self, node, source, cache, root_inh, connection=None):
         sql = node.raw_sql
         for input_name in node.inputs:
-            physical = self._cache_table(input_name, cache)
+            physical = self._cache_table(input_name, cache, connection)
             sql = sql.replace(f"{{{input_name}}}", f'"{physical}"')
         for member, value in root_inh.items():
             sql = sql.replace(f"{{root:{member}}}", _sql_literal(value))
-        result = self.mediator.execute(sql)
+        result = self.mediator.execute(sql, connection=connection)
         output = _with_ids(result)
-        return self.mediator.last_execution_seconds, {node.name: output}
+        return self.mediator.last_execution_seconds, {node.name: output}, 0
 
     # -- merged nodes -----------------------------------------------------
-    def _execute_merged(self, node, source, cache, root_inh):
+    def _execute_merged(self, node, source, cache, root_inh,
+                        connection=None, shipped=None):
         members = self._topo_members(node)
         external_inputs = [name for name in node.inputs]
         materialize_started = time.perf_counter()
-        bindings = self._materialize_inputs(external_inputs, source, cache)
+        bindings, rows_materialized = self._materialize_inputs(
+            external_inputs, source, cache, connection, shipped)
         materialize_seconds = time.perf_counter() - materialize_started
         member_names = {member.name for member in members}
         cte_names = {member.name: f"__m{index}"
@@ -336,7 +245,8 @@ class Engine:
                 f"SELECT {select_list} FROM {cte_names[member.name]}")
         statement = ("WITH " + ", ".join(with_parts) + " "
                      + " UNION ALL ".join(union_parts))
-        result = source.execute(statement, tuple(all_params))
+        result = source.execute(statement, tuple(all_params),
+                                connection=connection)
         elapsed = source.last_execution_seconds + materialize_seconds
 
         outputs: dict[str, ResultSet] = {}
@@ -345,7 +255,8 @@ class Engine:
             rows = [row[1:arity + 1] + (row[-1],) for row in result.rows
                     if row[0] == member.name]
             slice_result = ResultSet(
-                list(member.output_columns) + [ID_COLUMN], rows)
+                intern_columns(list(member.output_columns) + [ID_COLUMN]),
+                rows)
             if member.kind == "condition":
                 slice_result = _normalize_condition(slice_result,
                                                     member.name)
@@ -353,7 +264,7 @@ class Engine:
         # The merged node itself needs a cache entry so bookkeeping works.
         outputs[node.name] = ResultSet(["__tag"],
                                        [(m.name,) for m in members])
-        return elapsed, outputs
+        return elapsed, outputs, rows_materialized
 
     def _topo_members(self, node):
         members = list(node.members)
@@ -374,28 +285,48 @@ class Engine:
         return ordered
 
     # ------------------------------------------------------------------
-    def _materialize_inputs(self, input_names, source, cache
-                            ) -> dict[str, str]:
-        """Create local temp tables for a node's inputs; returns bindings."""
+    def _materialize_inputs(self, input_names, source, cache,
+                            connection=None, shipped: dict | None = None
+                            ) -> tuple[dict[str, str], int]:
+        """Create local temp tables for a node's inputs.
+
+        Returns ``(bindings, rows materialized)``.  With a ``shipped``
+        registry, a result already landed at this source is reused instead
+        of re-created (ship-once); the *modeled* per-input-row charge still
+        counts every consumer, so the simulated clock is unchanged.
+        """
         bindings: dict[str, str] = {}
+        rows_materialized = 0
         for input_name in input_names:
             if input_name not in cache:
                 raise PlanError(f"input {input_name!r} not yet available")
             result = cache[input_name]
             if source.name == MEDIATOR_NAME:
-                bindings[input_name] = self._cache_table(input_name, cache)
+                bindings[input_name] = self._cache_table(input_name, cache,
+                                                         connection)
             else:
-                bindings[input_name] = source.create_temp_table(
-                    result.columns, result.rows)
-                self._last_rows_materialized += len(result)
-        return bindings
+                rows_materialized += len(result)
+                key = (source.name, input_name)
+                table = shipped.get(key) if shipped is not None else None
+                if table is None:
+                    table = source.create_temp_table(
+                        result.columns, result.rows, connection=connection)
+                    if shipped is not None:
+                        shipped[key] = table
+                bindings[input_name] = table
+        return bindings, rows_materialized
 
-    def _cache_table(self, input_name: str, cache) -> str:
-        """The mediator-resident physical table for a cached result."""
+    def _cache_table(self, input_name: str, cache, connection=None) -> str:
+        """The mediator-resident physical table for a cached result.
+
+        Only the mediator lane calls this (all mediator-resident nodes run
+        single-flight there), so ``_physical`` needs no lock.
+        """
         if input_name not in self._physical:
             self._physical_counter += 1
             physical = f"cache_{self._physical_counter}"
-            self.mediator.cache_result(physical, cache[input_name])
+            self.mediator.cache_result(physical, cache[input_name],
+                                       connection=connection)
             self._physical[input_name] = physical
         return self._physical[input_name]
 
@@ -420,14 +351,14 @@ def _normalize_condition(result: ResultSet, node_name: str) -> ResultSet:
                 f"condition query {node_name!r} returned non-integer "
                 f"{selector!r}") from None
         normalized.append((as_int,) + row[1:])
-    return ResultSet(result.columns, normalized)
+    return ResultSet(intern_columns(result.columns), normalized)
 
 
 def _with_ids(result: ResultSet) -> ResultSet:
     """Append the ``__id`` path-encoding column (unique per table)."""
     if ID_COLUMN in result.columns:
         return result
-    columns = result.columns + [ID_COLUMN]
+    columns = intern_columns(result.columns + [ID_COLUMN])
     rows = [row + (index + 1,) for index, row in enumerate(result.rows)]
     return ResultSet(columns, rows)
 

@@ -1,0 +1,353 @@
+"""Event-driven plan execution: sequential and concurrent (one lane per
+source).
+
+The coordinator replaces the engine's former O(n²) retry loop with a
+ready-queue over the :class:`~repro.optimizer.qdg.QueryDependencyGraph`:
+producer→consumer edges are counted once up front, every completion event
+decrements its consumers' in-degrees, and a node is dispatched the moment
+its producers are done and its *lane* (the executing data source) is free.
+Lanes are single-flight — at most one query runs against a source at a
+time, matching both SQLite's comfort zone and the paper's model of one
+query processor per site.
+
+Two execution modes share the coordinator:
+
+* ``workers=1`` — every task runs inline on the calling thread, using each
+  source's main connection.  Static plans follow the per-source schedule
+  order; dynamic plans re-rank the ready set after every completion and
+  pick the single best node, which reproduces the sequential engine's
+  behavior exactly.
+
+* ``workers>1`` (or ``"auto"``, one per source) — a pool of worker threads
+  drains a task queue; each busy lane holds a leased pooled connection
+  (see :meth:`~repro.relational.source.DataSource.acquire_connection`), so
+  independent sources genuinely overlap.  Completion events arrive on a
+  FIFO queue; because a consumer is only dispatched after its producers'
+  events were processed, the simulated-clock recurrence sees producers
+  first and static-mode ``response_time`` is *identical* to sequential
+  execution (the recurrence depends only on per-source order and producer
+  completions, not on real interleaving).  Threaded dynamic scheduling
+  observes completions in real arrival order, so its simulated clock can
+  differ run to run — the produced document, violations, and bytes shipped
+  remain deterministic.
+
+``emulate_overheads=True`` makes workers *sleep* the modeled transfer and
+per-query deployment costs instead of only adding them to the simulated
+clock.  Sleeps release the GIL, so this mode demonstrates real wall-clock
+overlap of the modeled distributed deployment on plans that have width —
+useful for benchmarks on hardware where pure-SQLite work is GIL-bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationAborted, PlanError
+from repro.relational.source import MEDIATOR_NAME, ResultSet
+from repro.runtime.engine import EngineResult, NodeTiming
+
+
+def resolve_workers(workers, graph) -> int:
+    """Resolve a ``workers`` setting (positive int or ``"auto"``) against a
+    concrete graph; ``"auto"`` means one lane per participating source."""
+    if workers == "auto":
+        return max(1, len(graph.sources()))
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise PlanError(
+            f"workers must be a positive integer or 'auto', got {workers!r}")
+    if workers < 1:
+        raise PlanError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass
+class _Task:
+    """One dispatched node: executed by a worker (or inline)."""
+
+    lane: str
+    name: str
+    node: object
+    pre_sleep: float = 0.0       # emulated input-transfer wait
+
+
+@dataclass
+class _Completion:
+    """A finished task, reported back to the coordinator."""
+
+    lane: str
+    name: str
+    node: object
+    eval_seconds: float = 0.0
+    outputs: dict = field(default_factory=dict)
+    rows_materialized: int = 0
+    busy_seconds: float = 0.0    # wall time the lane was occupied
+    error: BaseException | None = None
+
+
+class PlanExecutor:
+    """Runs one engine invocation; holds no state across runs."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.graph = engine.graph
+        self.workers = resolve_workers(engine.workers, engine.graph)
+
+    # ------------------------------------------------------------------
+    def run(self, root_inh: dict) -> EngineResult:
+        engine = self.engine
+        graph = self.graph
+        started = time.perf_counter()
+
+        static = engine.dynamic_scheduler is None
+        lane_sequences: dict[str, list[str]] = {}
+        if static:
+            scheduled: set[str] = set()
+            for lane, sequence in engine.plan.items():
+                members = [name for name in sequence if name in graph.nodes]
+                lane_sequences[lane] = members
+                scheduled.update(members)
+            for node_name in graph.nodes:
+                if node_name not in scheduled:
+                    raise PlanError(
+                        f"plan does not schedule node {node_name!r}")
+            lane_of = {name: lane for lane, seq in lane_sequences.items()
+                       for name in seq}
+        else:
+            lane_of = {name: node.source
+                       for name, node in graph.nodes.items()}
+        lane_order = list(lane_sequences) if static else sorted(
+            {node.source for node in graph.nodes.values()})
+        lane_pos = {lane: 0 for lane in lane_order}
+
+        # --- ready-queue bookkeeping ----------------------------------
+        indegree: dict[str, int] = {}
+        consumers: dict[str, list[str]] = {name: [] for name in graph.nodes}
+        for name, node in graph.nodes.items():
+            producers = graph.producer_names(node)
+            indegree[name] = len(producers)
+            for producer in producers:
+                consumers[producer].append(name)
+        ready = {name for name, degree in indegree.items() if degree == 0}
+
+        # --- run state -------------------------------------------------
+        cache: dict[str, ResultSet] = {}
+        timings: dict[str, NodeTiming] = {}
+        completion_time: dict[str, float] = {}
+        source_ready: dict[str, float] = {}
+        shipped: dict[tuple[str, str], str] = {}
+        in_flight: dict[str, str] = {}          # lane -> node name
+        remaining = set(graph.nodes)
+        bytes_shipped = 0
+        queries = 0
+        busy_total = 0.0
+        violations: list = []
+
+        threaded = (self.workers > 1 and len(lane_order) > 1
+                    and len(graph.nodes) > 1)
+        worker_count = min(self.workers, len(lane_order)) if threaded else 1
+        task_queue: queue.SimpleQueue = queue.SimpleQueue()
+        done_queue: queue.SimpleQueue = queue.SimpleQueue()
+        stop = threading.Event()
+        threads: list[threading.Thread] = []
+        connections: dict[str, object] = {}
+
+        def perform(task: _Task) -> _Completion:
+            begun = time.perf_counter()
+            try:
+                if task.pre_sleep > 0.0:
+                    time.sleep(task.pre_sleep)
+                eval_seconds, outputs, rows = engine._execute(
+                    task.node, cache, root_inh,
+                    connection=connections.get(task.node.source),
+                    shipped=shipped)
+                if engine.emulate_overheads:
+                    output_rows = sum(len(r) for r in outputs.values())
+                    time.sleep(engine.modeled_overhead(
+                        task.node, rows, output_rows))
+                return _Completion(task.lane, task.name, task.node,
+                                   eval_seconds, outputs, rows,
+                                   time.perf_counter() - begun)
+            except BaseException as error:  # reported, re-raised centrally
+                return _Completion(task.lane, task.name, task.node,
+                                   busy_seconds=time.perf_counter() - begun,
+                                   error=error)
+
+        def worker_loop():
+            while True:
+                task = task_queue.get()
+                if task is None:
+                    return
+                if stop.is_set():
+                    continue
+                done_queue.put(perform(task))
+
+        def select_dispatches() -> list[tuple[str, str]]:
+            picks: list[tuple[str, str]] = []
+            if static:
+                for lane in lane_order:
+                    if lane in in_flight:
+                        continue
+                    sequence = lane_sequences[lane]
+                    pos = lane_pos[lane]
+                    if pos < len(sequence) and sequence[pos] in ready:
+                        picks.append((lane, sequence[pos]))
+            else:
+                taken: set[str] = set()
+                for name in engine.dynamic_scheduler.order(sorted(ready)):
+                    lane = lane_of[name]
+                    if lane in in_flight or lane in taken:
+                        continue
+                    picks.append((lane, name))
+                    taken.add(lane)
+                if not threaded:
+                    # Sequential dynamic: one node at a time, re-ranking
+                    # after every completion (the original behavior).
+                    picks = picks[:1]
+            return picks
+
+        def emulated_pre_sleep(node) -> float:
+            if not engine.emulate_overheads:
+                return 0.0
+            wait = 0.0
+            for input_name in node.inputs:
+                producer_name = graph.resolve(input_name)
+                if producer_name == node.name:
+                    continue
+                producer = graph.nodes[producer_name]
+                if producer.source == node.source:
+                    continue
+                nbytes = (cache[input_name].width_bytes()
+                          if input_name in cache else 0)
+                wait = max(wait, engine.network.trans_cost(
+                    producer.source, node.source, nbytes))
+            return wait
+
+        def dispatch(lane: str, name: str) -> _Task:
+            node = graph.nodes[name]
+            ready.discard(name)
+            if static:
+                lane_pos[lane] += 1
+            in_flight[lane] = name
+            return _Task(lane, name, node, emulated_pre_sleep(node))
+
+        def shut_down():
+            if not threads:
+                return
+            stop.set()
+            for _ in threads:
+                task_queue.put(None)
+            for thread in threads:
+                thread.join()
+
+        def process(done: _Completion):
+            nonlocal bytes_shipped, queries, busy_total
+            in_flight.pop(done.lane, None)
+            if done.error is not None:
+                raise done.error
+            node = done.node
+            queries += 1
+            busy_total += done.busy_seconds
+            for out_name, result in done.outputs.items():
+                cache[out_name] = result
+            # Simulated clock (Section 5.2): producers' completion events
+            # were processed before this node was dispatched, so their
+            # simulated times are known; per-lane order equals dispatch
+            # order, so ``source_ready`` advances like a serial per-site
+            # query processor.
+            start = source_ready.get(done.lane, 0.0)
+            for input_name in node.inputs:
+                producer_name = graph.resolve(input_name)
+                if producer_name == done.name:
+                    continue
+                producer = graph.nodes[producer_name]
+                slice_bytes = (cache[input_name].width_bytes()
+                               if input_name in cache else 0)
+                transfer = engine.network.trans_cost(
+                    producer.source, node.source, slice_bytes)
+                if producer.source != node.source:
+                    bytes_shipped += slice_bytes
+                start = max(start, completion_time[producer_name] + transfer)
+            output_rows = sum(len(r) for r in done.outputs.values())
+            output_bytes = sum(r.width_bytes()
+                               for r in done.outputs.values())
+            modeled = engine.modeled_overhead(node, done.rows_materialized,
+                                              output_rows)
+            finish = start + done.eval_seconds + modeled
+            completion_time[done.name] = finish
+            source_ready[done.lane] = finish
+            timings[done.name] = NodeTiming(
+                done.name, node.source, done.eval_seconds, finish,
+                output_rows, output_bytes)
+            if engine.dynamic_scheduler is not None:
+                engine.dynamic_scheduler.observe(
+                    done.name, output_rows, output_bytes,
+                    done.eval_seconds + modeled)
+            primary = done.outputs.get(done.name)
+            if node.kind == "guard" and primary is not None and len(primary):
+                if engine.violation_mode == "abort":
+                    raise EvaluationAborted([node.guard.constraint])
+                violations.append(node.guard.constraint)
+            remaining.discard(done.name)
+            for consumer in consumers[done.name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.add(consumer)
+
+        # --- main loop -------------------------------------------------
+        try:
+            if threaded:
+                for source_name in sorted(
+                        {node.source for node in graph.nodes.values()}):
+                    source = engine.sources.get(source_name)
+                    if source is not None:
+                        connections[source_name] = source.acquire_connection()
+                threads = [threading.Thread(target=worker_loop,
+                                            name=f"repro-exec-{index}",
+                                            daemon=True)
+                           for index in range(worker_count)]
+                for thread in threads:
+                    thread.start()
+            while remaining:
+                picks = select_dispatches()
+                if not picks and not in_flight:
+                    raise PlanError(
+                        f"execution stuck; pending nodes {sorted(remaining)}")
+                if threaded:
+                    for lane, name in picks:
+                        task_queue.put(dispatch(lane, name))
+                    process(done_queue.get())
+                else:
+                    lane, name = picks[0]
+                    process(perform(dispatch(lane, name)))
+        finally:
+            shut_down()
+            for source_name, connection in connections.items():
+                engine.sources[source_name].release_connection(connection)
+
+        # Final shipment of tagging-relevant outputs to the mediator.
+        response = 0.0
+        for name, node in graph.nodes.items():
+            finish = completion_time[name]
+            if node.ship_to_mediator and node.source != MEDIATOR_NAME:
+                shipment = sum(
+                    cache[member].width_bytes()
+                    for member in engine._member_names(node)
+                    if member in cache)
+                finish += engine.network.trans_cost(
+                    node.source, MEDIATOR_NAME, shipment)
+                bytes_shipped += shipment
+            response = max(response, finish)
+
+        measured = time.perf_counter() - started
+        speedup = busy_total / measured if measured > 0 else 1.0
+        return EngineResult(cache=cache, timings=timings,
+                            response_time=response,
+                            measured_seconds=measured,
+                            queries_executed=queries,
+                            bytes_shipped=bytes_shipped,
+                            violations=violations,
+                            parallel_speedup=speedup,
+                            workers=self.workers)

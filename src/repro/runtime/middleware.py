@@ -55,6 +55,8 @@ class ExecutionReport:
     unfold_depth: int | None
     optimization_seconds: float = 0.0
     violations: list = field(default_factory=list)  # report-mode findings
+    parallel_speedup: float = 1.0   # sequential-sum ÷ measured wall time
+    workers: int = 1                # resolved lane count of the run
 
 
 class Middleware:
@@ -68,7 +70,9 @@ class Middleware:
                  max_unfold_depth: int = 64,
                  query_overhead: float | None = None,
                  scheduling: str = "static",
-                 violation_mode: str = "abort"):
+                 violation_mode: str = "abort",
+                 workers: int | str = 1,
+                 emulate_overheads: bool = False):
         self.aig = aig
         self.sources = sources
         self.network = network or Network()
@@ -86,6 +90,14 @@ class Middleware:
                 f"got {scheduling!r}")
         self.scheduling = scheduling
         self.violation_mode = violation_mode
+        if workers != "auto" and (isinstance(workers, bool)
+                                  or not isinstance(workers, int)
+                                  or workers < 1):
+            raise EvaluationError(
+                f"workers must be a positive integer or 'auto', "
+                f"got {workers!r}")
+        self.workers = workers
+        self.emulate_overheads = emulate_overheads
 
     # ------------------------------------------------------------------
     def evaluate(self, root_inh: dict) -> ExecutionReport:
@@ -229,7 +241,9 @@ class Middleware:
         engine = Engine(graph, plan, self.sources, self.network,
                         query_overhead=self.query_overhead,
                         dynamic_scheduler=scheduler,
-                        violation_mode=self.violation_mode)
+                        violation_mode=self.violation_mode,
+                        workers=self.workers,
+                        emulate_overheads=self.emulate_overheads)
         result = engine.run(root_inh)
         document = build_document(tagging_plan, result.cache, root_inh)
         if depth is not None:
@@ -247,7 +261,9 @@ class Middleware:
             merged=self.merging,
             unfold_depth=depth,
             optimization_seconds=optimization_seconds,
-            violations=list(result.violations))
+            violations=list(result.violations),
+            parallel_speedup=result.parallel_speedup,
+            workers=result.workers)
 
     # ------------------------------------------------------------------
     def _needs_deeper(self, report: ExecutionReport,

@@ -27,6 +27,21 @@ class TestCLI:
                      "--dynamic"]) == 0
         assert "merging off" in capsys.readouterr().out
 
+    def test_demo_workers(self, capsys):
+        assert main(["demo", "--scale", "tiny", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 worker lane(s)" in out and "parallel speedup" in out
+
+    def test_demo_workers_auto(self, capsys):
+        assert main(["demo", "--scale", "tiny", "--workers", "auto"]) == 0
+        assert "worker lane(s)" in capsys.readouterr().out
+
+    def test_demo_workers_invalid(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["demo", "--workers", "many"])
+
     def test_check(self, capsys):
         assert main(["check", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out

@@ -47,6 +47,7 @@ class TestCardinalities:
     def test_cross_process_determinism(self):
         """Datasets must be identical across interpreter runs (str hashing
         is randomized per process; the generator must not depend on it)."""
+        import os
         import subprocess
         import sys
         script = ("import zlib; from repro.datagen import generate; "
@@ -54,10 +55,12 @@ class TestCardinalities:
                   "print(zlib.crc32(repr(d.visit_info).encode()))")
         first = subprocess.run([sys.executable, "-c", script],
                                capture_output=True, text=True, check=True)
+        # Propagate the parent environment (PYTHONPATH in particular, so
+        # the child can import repro) and only pin the hash seed.
         second = subprocess.run([sys.executable, "-c", script],
                                 capture_output=True, text=True, check=True,
-                                env={"PYTHONHASHSEED": "12345", "PATH":
-                                     __import__("os").environ["PATH"]})
+                                env={**os.environ,
+                                     "PYTHONHASHSEED": "12345"})
         assert first.stdout.strip() == second.stdout.strip()
 
 
