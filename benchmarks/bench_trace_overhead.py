@@ -1,0 +1,102 @@
+"""No-op tracer overhead guard.
+
+The observability subsystem's contract is that the instrumented hot path is
+unchanged when tracing is disabled: the default :data:`NULL_TRACER` span
+costs two ``perf_counter`` calls — exactly the timing reads the engine's
+simulated clock needed anyway — plus one kwargs dict.  Two measurements
+keep that honest:
+
+* a **microbenchmark** of the null span itself, asserted against a
+  generous absolute bound (median well under 5 µs per span; in practice
+  it is a few hundred nanoseconds);
+* a **macro comparison** of a full evaluation with the no-op tracer vs. a
+  recording :class:`Tracer`, reported so the cost of *enabling* tracing is
+  also on record (it is small: a tiny hospital run opens a few dozen
+  spans).
+"""
+
+import statistics
+import time
+
+from repro.hospital import build_hospital_aig, make_sources
+from repro.obs import NULL_TRACER, Tracer
+from repro.relational import Network
+from repro.runtime import Middleware
+
+from conftest import record_json, report
+
+SPANS_PER_BATCH = 20_000
+BATCHES = 5
+MAX_MEDIAN_NULL_SPAN_SECONDS = 5e-6
+
+
+def _null_span_seconds() -> float:
+    """Median per-span cost of the disabled tracer over several batches."""
+    samples = []
+    for _ in range(BATCHES):
+        started = time.perf_counter()
+        for _ in range(SPANS_PER_BATCH):
+            with NULL_TRACER.span("node", "query", track="DB1", rows=1):
+                pass
+        samples.append((time.perf_counter() - started) / SPANS_PER_BATCH)
+    return statistics.median(samples)
+
+
+def _evaluate(tracer):
+    from tests.conftest import load_tiny_hospital
+    sources = make_sources()
+    load_tiny_hospital(sources)
+    middleware = Middleware(build_hospital_aig(), sources, Network.mbps(1.0),
+                            workers=4, tracer=tracer)
+    started = time.perf_counter()
+    middleware.evaluate({"date": "d1"})
+    return time.perf_counter() - started
+
+
+def test_null_span_overhead_guard(benchmark):
+    """The disabled-tracing span must stay effectively free."""
+    per_span = benchmark.pedantic(_null_span_seconds, rounds=1, iterations=1)
+
+    # A tiny run opens ~40 spans; even a large one stays under a few
+    # thousand — scale the per-span cost to a generous span count to show
+    # the aggregate is invisible next to any real run.
+    aggregate_for_5k = per_span * 5000
+    text = ("No-op tracer overhead\n"
+            f"per span: {per_span * 1e9:.0f} ns (bound "
+            f"{MAX_MEDIAN_NULL_SPAN_SECONDS * 1e6:.1f} µs)\n"
+            f"5000 spans: {aggregate_for_5k * 1e3:.3f} ms")
+    report("trace_overhead_null_span", "\n" + text)
+    record_json("trace_overhead_null_span", {
+        "per_span_ns": round(per_span * 1e9, 1),
+        "bound_ns": MAX_MEDIAN_NULL_SPAN_SECONDS * 1e9,
+    })
+    assert per_span < MAX_MEDIAN_NULL_SPAN_SECONDS, per_span
+
+
+def test_recording_vs_null_macro(benchmark):
+    """Full evaluation: recording tracer vs. the no-op default."""
+    def run_pair():
+        # Interleave to be fair to warm caches.
+        _evaluate(None)
+        null_wall = _evaluate(None)
+        tracer = Tracer()
+        recording_wall = _evaluate(tracer)
+        return null_wall, recording_wall, len(tracer.spans)
+
+    null_wall, recording_wall, spans = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1)
+    delta = recording_wall - null_wall
+    text = ("Evaluation wall: recording tracer vs. disabled\n"
+            f"disabled: {null_wall * 1e3:.1f} ms   "
+            f"recording: {recording_wall * 1e3:.1f} ms   "
+            f"delta {delta * 1e3:+.1f} ms over {spans} span(s)")
+    report("trace_overhead_macro", "\n" + text)
+    record_json("trace_overhead_macro", {
+        "disabled_wall_ms": round(null_wall * 1e3, 2),
+        "recording_wall_ms": round(recording_wall * 1e3, 2),
+        "spans": spans,
+    })
+    assert spans > 0
+    # Recording must not blow the run up (generous: thread timing noise on
+    # a ~tens-of-ms run dwarfs the actual span cost).
+    assert recording_wall < null_wall * 3 + 0.25

@@ -2,36 +2,74 @@
 
 Commands:
 
-* ``demo [--scale S] [--date D] [--no-merge] [--dynamic] [--workers N]`` —
-  generate a hospital dataset and produce one day's report through the
-  middleware, printing summary statistics (add ``--xml`` to dump the
-  document; ``--workers N`` or ``--workers auto`` executes per-source
-  query sequences concurrently).
+* ``demo [--scale S] [--date D] [--no-merge] [--dynamic] [--workers N]
+  [--trace FILE] [--metrics] [--metrics-json FILE]`` — generate a hospital
+  dataset and produce one day's report through the middleware, printing
+  summary statistics (add ``--xml`` to dump the document; ``--workers N``
+  or ``--workers auto`` executes per-source query sequences concurrently;
+  ``--trace`` writes a Chrome trace-event JSON loadable in Perfetto /
+  ``chrome://tracing`` with one track per worker lane).
+* ``calibrate [--scale S] [--workers N] [--json FILE]`` — run one report
+  and print the cost-model calibration: the optimizer's modeled
+  ``eval_cost``/``size`` per QDG node joined against measured wall time
+  and bytes, with q-error aggregates (see docs/OBSERVABILITY.md).
 * ``check [--scale S]`` — the full cross-path equivalence check: conceptual
   vs. optimized evaluation, DTD conformance, constraint satisfaction.
-* ``info`` — version and component inventory.
+* ``explain`` — print the optimizer's plan; ``info`` — component inventory.
+
+Every command accepts ``-v/--verbose`` (repeatable) and ``--quiet``, which
+configure stdlib logging for the ``repro.`` namespace.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
+def _make_tracer(args):
+    """A recording tracer when any observability output was requested."""
+    if (getattr(args, "trace", None) or getattr(args, "metrics", False)
+            or getattr(args, "metrics_json", None)):
+        from repro.obs import Tracer
+        return Tracer()
+    return None
+
+
+def _export_observability(tracer, args) -> None:
+    if tracer is None:
+        return
+    from repro.obs import text_summary, write_chrome_trace, write_metrics
+    if getattr(args, "trace", None):
+        spans = write_chrome_trace(tracer, args.trace)
+        print(f"trace: {spans} span(s) on {len(tracer.tracks())} track(s) "
+              f"-> {args.trace} (open in Perfetto / chrome://tracing)")
+    if getattr(args, "metrics_json", None):
+        payload = write_metrics(tracer, args.metrics_json)
+        named = (len(payload.get("counters", {}))
+                 + len(payload.get("gauges", {})))
+        print(f"metrics: {named} counter(s)/gauge(s) -> {args.metrics_json}")
+    if getattr(args, "metrics", False):
+        print(text_summary(tracer))
+
+
 def _demo(args) -> int:
-    from repro import ConceptualEvaluator, Middleware, Network, serialize
+    from repro import Middleware, Network, serialize
     from repro.datagen import make_loaded_sources
     from repro.hospital import build_hospital_aig
 
     aig = build_hospital_aig()
     sources, dataset = make_loaded_sources(args.scale)
     date = args.date or dataset.busiest_date()
+    tracer = _make_tracer(args)
     middleware = Middleware(
         aig, sources, Network.mbps(args.mbps),
         merging=not args.no_merge,
         scheduling="dynamic" if args.dynamic else "static",
         unfold_depth="auto",
-        workers=args.workers)
+        workers=args.workers,
+        tracer=tracer)
     report = middleware.evaluate({"date": date})
     patients = len(report.document.find_all("patient"))
     print(f"report for {date} ({args.scale} dataset): "
@@ -44,8 +82,32 @@ def _demo(args) -> int:
     print(f"execution: {report.workers} worker lane(s), "
           f"{report.measured_seconds:.3f}s wall, "
           f"parallel speedup {report.parallel_speedup:.2f}x")
+    _export_observability(tracer, args)
     if args.xml:
         print(serialize(report.document, indent=2))
+    return 0
+
+
+def _calibrate(args) -> int:
+    from repro import Middleware, Network
+    from repro.datagen import make_loaded_sources
+    from repro.hospital import build_hospital_aig
+
+    aig = build_hospital_aig()
+    sources, dataset = make_loaded_sources(args.scale)
+    date = args.date or dataset.busiest_date()
+    middleware = Middleware(aig, sources, Network.mbps(args.mbps),
+                            merging=not args.no_merge,
+                            unfold_depth="auto",
+                            workers=args.workers)
+    middleware.evaluate({"date": date})
+    report = middleware.calibration_report()
+    print(report.to_text())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"calibration: {len(report.nodes)} node(s) -> {args.json}")
     return 0
 
 
@@ -115,6 +177,7 @@ def _info(args) -> int:
         ("repro.optimizer", "query dependency graph, cost model, "
                             "Schedule, Merge"),
         ("repro.runtime", "execution engine, tagging, recursion handling"),
+        ("repro.obs", "tracing, metrics, cost-model calibration"),
         ("repro.analysis", "termination / reachability / CSR analyses"),
         ("repro.datagen", "Table 1 datasets (ToXgene substitute)"),
     ]
@@ -124,13 +187,21 @@ def _info(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log more (-v: phase info, -vv: per-node "
+                             "debug)")
+    common.add_argument("--quiet", action="store_true",
+                        help="log errors only")
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="AIG data-integration middleware (SIGMOD 2003 "
                     "reproduction)")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    demo = commands.add_parser("demo", help="generate one hospital report")
+    demo = commands.add_parser("demo", parents=[common],
+                               help="generate one hospital report")
     demo.add_argument("--scale", default="tiny",
                       choices=["tiny", "small", "medium", "large"])
     demo.add_argument("--date", default=None)
@@ -141,28 +212,55 @@ def main(argv: list[str] | None = None) -> int:
                       metavar="N|auto",
                       help="concurrent source lanes (default 1; 'auto' = "
                            "one per source)")
+    demo.add_argument("--trace", default=None, metavar="FILE",
+                      help="write a Chrome trace-event JSON of the run "
+                           "(Perfetto / chrome://tracing)")
+    demo.add_argument("--metrics", action="store_true",
+                      help="print the metrics/span summary after the run")
+    demo.add_argument("--metrics-json", default=None, metavar="FILE",
+                      help="write counters/gauges/span rollups as JSON")
     demo.add_argument("--xml", action="store_true",
                       help="print the generated document")
     demo.set_defaults(handler=_demo)
 
+    calibrate = commands.add_parser(
+        "calibrate", parents=[common],
+        help="modeled vs. measured cost per QDG node (Section 5 cost "
+             "model validation)")
+    calibrate.add_argument("--scale", default="tiny",
+                           choices=["tiny", "small", "medium", "large"])
+    calibrate.add_argument("--date", default=None)
+    calibrate.add_argument("--mbps", type=float, default=1.0)
+    calibrate.add_argument("--no-merge", action="store_true")
+    calibrate.add_argument("--workers", type=_workers_value, default=1,
+                           metavar="N|auto")
+    calibrate.add_argument("--json", default=None, metavar="FILE",
+                           help="also write the report as JSON")
+    calibrate.set_defaults(handler=_calibrate)
+
     check = commands.add_parser(
-        "check", help="cross-path equivalence + conformance check")
+        "check", parents=[common],
+        help="cross-path equivalence + conformance check")
     check.add_argument("--scale", default="tiny",
                        choices=["tiny", "small", "medium", "large"])
     check.set_defaults(handler=_check)
 
     explain = commands.add_parser(
-        "explain", help="print the optimizer's plan for the hospital AIG")
+        "explain", parents=[common],
+        help="print the optimizer's plan for the hospital AIG")
     explain.add_argument("--scale", default="tiny",
                          choices=["tiny", "small", "medium", "large"])
     explain.add_argument("--depth", type=int, default=3)
     explain.add_argument("--no-merge", action="store_true")
     explain.set_defaults(handler=_explain)
 
-    info = commands.add_parser("info", help="version and components")
+    info = commands.add_parser("info", parents=[common],
+                               help="version and components")
     info.set_defaults(handler=_info)
 
     args = parser.parse_args(argv)
+    from repro.obs.logconfig import configure_logging
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     return args.handler(args)
 
 

@@ -44,16 +44,24 @@ class SpecializedAIG:
 
 
 def specialize(aig: AIG,
-               stats: StatisticsCatalog | None = None) -> SpecializedAIG:
+               stats: StatisticsCatalog | None = None,
+               tracer=None) -> SpecializedAIG:
     """Pre-process ``aig``: constraint compilation + query decomposition.
 
     The occurrence analysis is attached for non-recursive DTDs (it is what
     the optimizer builds the query dependency graph from); recursive AIGs
-    get it after unfolding.
+    get it after unfolding.  ``tracer`` (see :mod:`repro.obs`) records one
+    span per pre-processing stage.
     """
-    compiled = compile_constraints(aig)
-    compiled.validate()
-    decompositions = decompose_query_sites(compiled, stats)
-    occurrences = (OccurrenceTree(compiled)
-                   if not recursive_types(compiled.dtd) else None)
+    from repro.obs.tracer import NULL_TRACER
+    tracer = NULL_TRACER if tracer is None else tracer
+    with tracer.span("compile-constraints", "compile",
+                     constraints=len(aig.constraints)):
+        compiled = compile_constraints(aig)
+        compiled.validate()
+    with tracer.span("decompose", "compile"):
+        decompositions = decompose_query_sites(compiled, stats)
+    with tracer.span("occurrence-analysis", "compile"):
+        occurrences = (OccurrenceTree(compiled)
+                       if not recursive_types(compiled.dtd) else None)
     return SpecializedAIG(compiled, decompositions, occurrences)

@@ -35,11 +35,24 @@ def check_constraint(tree: XMLElement, constraint: Constraint) -> list[Violation
 
 
 def check_constraints(tree: XMLElement,
-                      constraints: list[Constraint]) -> list[Violation]:
-    """All violations of all constraints, in constraint order."""
+                      constraints: list[Constraint],
+                      tracer=None) -> list[Violation]:
+    """All violations of all constraints, in constraint order.
+
+    ``tracer`` (see :mod:`repro.obs`) records one ``constraint`` span per
+    constraint checked plus ``constraint_checks``/``violations_found``
+    counters; the default no-op tracer adds nothing.
+    """
+    from repro.obs.tracer import NULL_TRACER
+    tracer = NULL_TRACER if tracer is None else tracer
     violations: list[Violation] = []
     for constraint in constraints:
-        violations.extend(check_constraint(tree, constraint))
+        with tracer.span(str(constraint), "constraint") as span:
+            found = check_constraint(tree, constraint)
+            span.set(violations=len(found))
+        violations.extend(found)
+    tracer.metrics.add("constraint_checks", len(constraints))
+    tracer.metrics.add("violations_found", len(violations))
     return violations
 
 

@@ -1,0 +1,45 @@
+"""Observability for the AIG middleware: tracing, metrics, calibration.
+
+Zero-dependency (stdlib only).  The subsystem has four pieces:
+
+* :mod:`repro.obs.tracer` — hierarchical spans with per-lane tracks; the
+  no-op :data:`NULL_TRACER` is the default everywhere, so tracing costs
+  nothing unless a recording :class:`Tracer` is passed to
+  ``Middleware(tracer=...)``.
+* :mod:`repro.obs.metrics` — named counters and gauges (rows materialized,
+  bytes shipped, pool hits, merge savings, …), owned by the tracer.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), metrics JSON, and a text summary.
+* :mod:`repro.obs.calibrate` — the cost-model calibration report: modeled
+  ``eval_cost``/``size`` joined against measured per-node wall time and
+  bytes, with q-error aggregates (``python -m repro calibrate``).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from repro.obs.calibrate import (
+    CalibrationReport,
+    NodeCalibration,
+    build_calibration,
+    q_error,
+)
+from repro.obs.export import (
+    chrome_trace,
+    metrics_dict,
+    span_rollup,
+    text_summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.logconfig import configure_logging, level_for
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import MAIN_TRACK, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer", "NullTracer", "Span", "NULL_TRACER", "MAIN_TRACK",
+    "MetricsRegistry", "NullMetrics", "NULL_METRICS",
+    "chrome_trace", "write_chrome_trace", "metrics_dict", "write_metrics",
+    "span_rollup", "text_summary",
+    "CalibrationReport", "NodeCalibration", "build_calibration", "q_error",
+    "configure_logging", "level_for",
+]

@@ -1,0 +1,114 @@
+"""Exporters for recorded traces and metrics.
+
+Three formats, all derived from one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON format (open the file
+  in Perfetto / ``chrome://tracing``).  Every span becomes a complete
+  ("X") event; every track (the coordinator plus one per worker lane)
+  becomes its own thread row via ``thread_name`` metadata events, so
+  concurrent per-lane execution renders as parallel timelines.
+* :func:`metrics_dict` / :func:`write_metrics` — machine-readable counters
+  and gauges plus per-category span rollups.
+* :func:`text_summary` — a human-readable digest for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Tracer
+
+#: Synthetic process id used for all trace events (one middleware process).
+TRACE_PID = 1
+
+
+def _json_value(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a Chrome trace-event object (``traceEvents`` list)."""
+    tracks = tracer.tracks()
+    tids = {track: index for index, track in enumerate(tracks)}
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+         "args": {"name": "repro middleware"}}]
+    for track, tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                       "tid": tid, "args": {"name": track}})
+        events.append({"ph": "M", "name": "thread_sort_index",
+                       "pid": TRACE_PID, "tid": tid,
+                       "args": {"sort_index": tid}})
+    for span in sorted(tracer.spans, key=lambda s: s.start):
+        args = {key: _json_value(value) for key, value in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": round(span.start * 1e6, 3),      # microseconds
+            "dur": round(span.duration * 1e6, 3),
+            "pid": TRACE_PID,
+            "tid": tids[span.track],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the span count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")
+    return len(tracer.spans)
+
+
+def span_rollup(tracer: Tracer) -> dict:
+    """Per-category span statistics: count and total self-clock seconds."""
+    rollup: dict[str, dict] = {}
+    for span in tracer.spans:
+        entry = rollup.setdefault(span.category,
+                                  {"count": 0, "total_seconds": 0.0})
+        entry["count"] += 1
+        entry["total_seconds"] += span.duration
+    for entry in rollup.values():
+        entry["total_seconds"] = round(entry["total_seconds"], 6)
+    return dict(sorted(rollup.items()))
+
+
+def metrics_dict(tracer: Tracer) -> dict:
+    """Counters, gauges, and span rollups as one JSON-ready object."""
+    snapshot = tracer.metrics.snapshot()
+    snapshot["spans"] = span_rollup(tracer)
+    return snapshot
+
+
+def write_metrics(tracer: Tracer, path: str) -> dict:
+    """Write :func:`metrics_dict` to ``path``; returns the object."""
+    payload = metrics_dict(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def text_summary(tracer: Tracer) -> str:
+    """Human-readable metrics + span digest (the CLI's ``--metrics``)."""
+    snapshot = tracer.metrics.snapshot()
+    lines = ["== spans by category =="]
+    for category, entry in span_rollup(tracer).items():
+        lines.append(f"  {category:<12s} {entry['count']:>6d} span(s)  "
+                     f"{entry['total_seconds']:>10.4f}s")
+    lines.append("== counters ==")
+    for name, value in snapshot["counters"].items():
+        shown = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<34s} {shown:>14s}")
+    lines.append("== gauges ==")
+    for name, value in snapshot["gauges"].items():
+        shown = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<34s} {shown:>14s}")
+    return "\n".join(lines)

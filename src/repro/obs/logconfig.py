@@ -1,0 +1,53 @@
+"""Logging setup for the ``repro.`` logger namespace.
+
+Every module logs through ``logging.getLogger("repro.<area>")`` and emits
+nothing unless a handler is configured — library users keep full control.
+The CLI calls :func:`configure_logging` from its ``--verbose``/``--quiet``
+flags:
+
+* default — WARNING (violations, recursion re-unrolling, anomalies);
+* ``-v`` — INFO (phase summaries, merge decisions, plan-cache activity);
+* ``-vv`` — DEBUG (per-node dispatch/completion);
+* ``--quiet`` — ERROR only.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def level_for(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI flags to a stdlib logging level."""
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False,
+                      stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger (idempotent).
+
+    Re-invocation replaces the previous CLI handler rather than stacking
+    duplicates, so tests can call this repeatedly.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level_for(verbose, quiet))
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_cli = True
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

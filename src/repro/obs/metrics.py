@@ -1,0 +1,83 @@
+"""Counters and gauges for the AIG middleware.
+
+A :class:`MetricsRegistry` is a flat, thread-safe map of named numbers:
+
+* **counters** accumulate (``add``) — rows materialized, bytes shipped,
+  connection-pool hits, queries executed, violations found, per-lane busy
+  seconds (dotted names like ``lane_busy_seconds.DB1`` scope a metric to
+  one lane/source);
+* **gauges** hold the latest value (``set_gauge``) — QDG size, predicted
+  plan cost, merge savings, document size, unfolding depth.
+
+:data:`NULL_METRICS` is the no-op twin used by the null tracer so
+instrumented code never needs an ``if tracing`` branch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """Thread-safe named counters and gauges."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- writers --------------------------------------------------------
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment counter ``name`` (created at 0 on first touch, so an
+        ``add(name, 0)`` makes the metric visible without counting)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    # -- readers --------------------------------------------------------
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy: ``{"counters": {...}, "gauges": {...}}``."""
+        with self._lock:
+            return {"counters": dict(sorted(self._counters.items())),
+                    "gauges": dict(sorted(self._gauges.items()))}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges)
+
+
+class NullMetrics:
+    """No-op registry with the same interface (the disabled default)."""
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> float:
+        return 0
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}}
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op registry (the null tracer's ``metrics``).
+NULL_METRICS = NullMetrics()

@@ -21,6 +21,7 @@ candidate merges producing a cycle are rejected (step 6 of Fig. 9).
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 
 from repro.errors import PlanError
@@ -32,6 +33,8 @@ from repro.optimizer.schedule import schedule
 
 #: Node kinds that may participate in merging (AST-rendered queries).
 MERGEABLE_KINDS = {"step", "condition", "merged"}
+
+logger = logging.getLogger("repro.optimizer.merge")
 
 
 @dataclass
@@ -97,18 +100,23 @@ def _extend_estimates(graph: QueryDependencyGraph,
 
 
 def merge(graph: QueryDependencyGraph, model: CostModel, network: Network,
-          max_iterations: int | None = None
+          max_iterations: int | None = None, tracer=None
           ) -> tuple[QueryDependencyGraph, dict, float, dict[str, NodeEstimate]]:
     """Algorithm Merge: returns (graph, plan, cost, estimates).
 
     Follows Fig. 9: start from the scheduled cost of the input graph, then
     greedily apply the best beneficial pair merge until none helps (or
-    ``max_iterations`` merges were applied).
+    ``max_iterations`` merges were applied).  ``tracer`` (see
+    :mod:`repro.obs`) records the unmerged-vs-merged predicted costs so
+    the merge savings are visible in the metrics export.
     """
+    from repro.obs.tracer import NULL_TRACER
+    tracer = NULL_TRACER if tracer is None else tracer
     base_estimates = model.estimate_graph(graph)
     estimates = base_estimates
     plan = schedule(graph, estimates, network)
     best_cost = plan_cost(graph, plan, estimates, network)
+    unmerged_cost = best_cost
     iterations = 0
     while True:
         benefit = False
@@ -132,6 +140,14 @@ def merge(graph: QueryDependencyGraph, model: CostModel, network: Network,
         iterations += 1
         if max_iterations is not None and iterations >= max_iterations:
             break
+    metrics = tracer.metrics
+    metrics.set_gauge("optimizer_cost_unmerged_seconds", unmerged_cost)
+    metrics.set_gauge("optimizer_cost_merged_seconds", best_cost)
+    metrics.set_gauge("optimizer_merge_savings_seconds",
+                      unmerged_cost - best_cost)
+    metrics.set_gauge("optimizer_merge_iterations", iterations)
+    logger.info("Algorithm Merge: %d merge(s), predicted cost "
+                "%.3fs -> %.3fs", iterations, unmerged_cost, best_cost)
     return graph, plan, best_cost, estimates
 
 

@@ -144,6 +144,8 @@ class DataSource:
         self.last_execution_seconds = 0.0
         self.total_queries = 0
         self.total_seconds = 0.0
+        self.pool_hits = 0       # leases served from the pool (reuse)
+        self.pool_misses = 0     # leases that had to open a connection
         self._temp_counter = 0
         self._create_base_tables()
 
@@ -172,7 +174,9 @@ class DataSource:
                 f"source {self.name!r} is closed")
         with self._pool_lock:
             if self._pool:
+                self.pool_hits += 1
                 return self._pool.pop()
+            self.pool_misses += 1
         return self._connect()
 
     def release_connection(self, connection: sqlite3.Connection) -> None:
@@ -284,6 +288,8 @@ class DataSource:
         self.last_execution_seconds = 0.0
         self.total_queries = 0
         self.total_seconds = 0.0
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     def close(self) -> None:
         with self._pool_lock:

@@ -22,10 +22,11 @@ with :class:`~repro.errors.EvaluationAborted`.
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass, field
 
 from repro.errors import EvaluationAborted, EvaluationError, PlanError
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.network import Network
 from repro.relational.source import (
     DataSource,
@@ -40,10 +41,18 @@ from repro.sqlq.render import render_sqlite
 #: Hidden row-identity column appended to every cached table.
 ID_COLUMN = "__id"
 
+logger = logging.getLogger("repro.engine")
+
 
 @dataclass
 class NodeTiming:
-    """Timing record for one executed node."""
+    """Timing record for one executed node.
+
+    Built from the node's execution span (:mod:`repro.obs.tracer`), so the
+    span model is the single timing source of truth; the two trailing
+    fields were added for cost-model calibration and default to zero for
+    backward compatibility.
+    """
 
     name: str
     source: str
@@ -51,6 +60,8 @@ class NodeTiming:
     completion: float             # simulated completion on the clock
     output_rows: int
     output_bytes: int
+    rows_materialized: int = 0    # input rows shipped into temp tables
+    overhead_seconds: float = 0.0  # modeled deployment cost applied
 
 
 @dataclass
@@ -73,6 +84,11 @@ class EngineResult:
 class Engine:
     """Executes a query dependency graph under an execution plan."""
 
+    #: Class-level default so partially constructed engines (tests build
+    #: them via ``__new__`` to exercise single methods) still trace as
+    #: no-ops.
+    tracer = NULL_TRACER
+
     def __init__(self, graph, plan: dict, sources: dict[str, DataSource],
                  network: Network, mediator: Mediator | None = None,
                  query_overhead: float | None = None,
@@ -82,9 +98,11 @@ class Engine:
                  dynamic_scheduler=None,
                  violation_mode: str = "abort",
                  workers: int | str = 1,
-                 emulate_overheads: bool = False):
+                 emulate_overheads: bool = False,
+                 tracer=None):
         from repro.optimizer.cost import (PER_INPUT_ROW, PER_OUTPUT_ROW,
                                           QUERY_OVERHEAD)
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.graph = graph
         self.plan = plan
         self.sources = dict(sources)
@@ -174,10 +192,11 @@ class Engine:
     # -- plain AST queries ---------------------------------------------
     def _execute_query(self, node, source, cache, root_inh,
                        connection=None, shipped=None):
-        materialize_started = time.perf_counter()
-        bindings, rows_materialized = self._materialize_inputs(
-            node.inputs, source, cache, connection, shipped)
-        materialize_seconds = time.perf_counter() - materialize_started
+        with self.tracer.span("materialize", "ship",
+                              node=node.name) as materialize_span:
+            bindings, rows_materialized = self._materialize_inputs(
+                node.inputs, source, cache, connection, shipped)
+        materialize_seconds = materialize_span.duration
         scalar_values = {param: root_inh[member]
                          for param, member in node.root_params.items()}
         sql, params = render_sqlite(node.query, scalar_values, bindings)
@@ -205,10 +224,11 @@ class Engine:
                         connection=None, shipped=None):
         members = self._topo_members(node)
         external_inputs = [name for name in node.inputs]
-        materialize_started = time.perf_counter()
-        bindings, rows_materialized = self._materialize_inputs(
-            external_inputs, source, cache, connection, shipped)
-        materialize_seconds = time.perf_counter() - materialize_started
+        with self.tracer.span("materialize", "ship",
+                              node=node.name) as materialize_span:
+            bindings, rows_materialized = self._materialize_inputs(
+                external_inputs, source, cache, connection, shipped)
+        materialize_seconds = materialize_span.duration
         member_names = {member.name for member in members}
         cte_names = {member.name: f"__m{index}"
                      for index, member in enumerate(members)}
@@ -297,6 +317,7 @@ class Engine:
         """
         bindings: dict[str, str] = {}
         rows_materialized = 0
+        metrics = self.tracer.metrics
         for input_name in input_names:
             if input_name not in cache:
                 raise PlanError(f"input {input_name!r} not yet available")
@@ -309,10 +330,18 @@ class Engine:
                 key = (source.name, input_name)
                 table = shipped.get(key) if shipped is not None else None
                 if table is None:
-                    table = source.create_temp_table(
-                        result.columns, result.rows, connection=connection)
+                    with self.tracer.span(f"ship:{input_name}", "ship",
+                                          target=source.name,
+                                          rows=len(result)):
+                        table = source.create_temp_table(
+                            result.columns, result.rows,
+                            connection=connection)
                     if shipped is not None:
                         shipped[key] = table
+                    metrics.add("temp_tables_created", 1)
+                    metrics.add("rows_shipped", len(result))
+                else:
+                    metrics.add("ship_once_reuses", 1)
                 bindings[input_name] = table
         return bindings, rows_materialized
 
@@ -325,8 +354,12 @@ class Engine:
         if input_name not in self._physical:
             self._physical_counter += 1
             physical = f"cache_{self._physical_counter}"
-            self.mediator.cache_result(physical, cache[input_name],
-                                       connection=connection)
+            with self.tracer.span(f"cache:{input_name}", "ship",
+                                  target=MEDIATOR_NAME,
+                                  rows=len(cache[input_name])):
+                self.mediator.cache_result(physical, cache[input_name],
+                                           connection=connection)
+            self.tracer.metrics.add("mediator_cache_tables", 1)
             self._physical[input_name] = physical
         return self._physical[input_name]
 

@@ -40,14 +40,22 @@ useful for benchmarks on hardware where pure-SQLite work is GIL-bound.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import EvaluationAborted, PlanError
+from repro.obs.tracer import MAIN_TRACK
 from repro.relational.source import MEDIATOR_NAME, ResultSet
 from repro.runtime.engine import EngineResult, NodeTiming
+
+logger = logging.getLogger("repro.executor")
+
+#: Trace-span category per QDG node kind (see docs/OBSERVABILITY.md).
+SPAN_CATEGORY = {"step": "query", "merged": "query", "collect": "collect",
+                 "condition": "condition", "guard": "guard"}
 
 
 def resolve_workers(workers, graph) -> int:
@@ -99,7 +107,21 @@ class PlanExecutor:
     def run(self, root_inh: dict) -> EngineResult:
         engine = self.engine
         graph = self.graph
+        tracer = engine.tracer
+        run_span = tracer.span("execute", "execute", track=MAIN_TRACK,
+                               workers=self.workers,
+                               nodes=len(graph.nodes))
+        with run_span:
+            result = self._run(root_inh, run_span)
+        return result
+
+    def _run(self, root_inh: dict, run_span) -> EngineResult:
+        engine = self.engine
+        graph = self.graph
+        tracer = engine.tracer
+        metrics = tracer.metrics
         started = time.perf_counter()
+        pool_baseline = _pool_stats(engine.sources)
 
         static = engine.dynamic_scheduler is None
         lane_sequences: dict[str, list[str]] = {}
@@ -155,25 +177,38 @@ class PlanExecutor:
         connections: dict[str, object] = {}
 
         def perform(task: _Task) -> _Completion:
-            begun = time.perf_counter()
-            try:
-                if task.pre_sleep > 0.0:
-                    time.sleep(task.pre_sleep)
-                eval_seconds, outputs, rows = engine._execute(
-                    task.node, cache, root_inh,
-                    connection=connections.get(task.node.source),
-                    shipped=shipped)
-                if engine.emulate_overheads:
-                    output_rows = sum(len(r) for r in outputs.values())
-                    time.sleep(engine.modeled_overhead(
-                        task.node, rows, output_rows))
+            # The span *is* the lane-busy stopwatch (one timing source of
+            # truth): ``busy_seconds`` below is its duration, and with a
+            # recording tracer the same interval renders on the lane track.
+            span = tracer.span(task.name, SPAN_CATEGORY.get(task.node.kind,
+                                                            "query"),
+                               track=task.lane, parent=run_span,
+                               source=task.node.source, kind=task.node.kind)
+            error: BaseException | None = None
+            eval_seconds, outputs, rows = 0.0, {}, 0
+            with span:
+                try:
+                    if task.pre_sleep > 0.0:
+                        time.sleep(task.pre_sleep)
+                    eval_seconds, outputs, rows = engine._execute(
+                        task.node, cache, root_inh,
+                        connection=connections.get(task.node.source),
+                        shipped=shipped)
+                    if engine.emulate_overheads:
+                        output_rows = sum(len(r) for r in outputs.values())
+                        time.sleep(engine.modeled_overhead(
+                            task.node, rows, output_rows))
+                    span.set(eval_seconds=eval_seconds,
+                             rows_materialized=rows,
+                             output_rows=sum(len(r)
+                                             for r in outputs.values()))
+                except BaseException as exc:  # reported, re-raised centrally
+                    error = exc
+            if error is not None:
                 return _Completion(task.lane, task.name, task.node,
-                                   eval_seconds, outputs, rows,
-                                   time.perf_counter() - begun)
-            except BaseException as error:  # reported, re-raised centrally
-                return _Completion(task.lane, task.name, task.node,
-                                   busy_seconds=time.perf_counter() - begun,
-                                   error=error)
+                                   busy_seconds=span.duration, error=error)
+            return _Completion(task.lane, task.name, task.node,
+                               eval_seconds, outputs, rows, span.duration)
 
         def worker_loop():
             while True:
@@ -280,13 +315,19 @@ class PlanExecutor:
             source_ready[done.lane] = finish
             timings[done.name] = NodeTiming(
                 done.name, node.source, done.eval_seconds, finish,
-                output_rows, output_bytes)
+                output_rows, output_bytes, done.rows_materialized, modeled)
+            metrics.add(f"lane_busy_seconds.{done.lane}", done.busy_seconds)
+            logger.debug("completed %s on %s: %d row(s), %.4fs eval, "
+                         "simulated finish %.3fs", done.name, done.lane,
+                         output_rows, done.eval_seconds, finish)
             if engine.dynamic_scheduler is not None:
                 engine.dynamic_scheduler.observe(
                     done.name, output_rows, output_bytes,
                     done.eval_seconds + modeled)
             primary = done.outputs.get(done.name)
             if node.kind == "guard" and primary is not None and len(primary):
+                logger.warning("constraint guard %s found a violation of %s",
+                               node.name, node.guard.constraint)
                 if engine.violation_mode == "abort":
                     raise EvaluationAborted([node.guard.constraint])
                 violations.append(node.guard.constraint)
@@ -343,6 +384,25 @@ class PlanExecutor:
 
         measured = time.perf_counter() - started
         speedup = busy_total / measured if measured > 0 else 1.0
+        metrics.add("queries_executed", queries)
+        metrics.add("bytes_shipped", bytes_shipped)
+        metrics.add("rows_emitted",
+                    sum(t.output_rows for t in timings.values()))
+        metrics.add("rows_materialized",
+                    sum(t.rows_materialized for t in timings.values()))
+        metrics.add("violations_found", len(violations))
+        pool_hits, pool_misses = _pool_stats(engine.sources)
+        metrics.add("connection_pool_hits", pool_hits - pool_baseline[0])
+        metrics.add("connection_pool_misses",
+                    pool_misses - pool_baseline[1])
+        metrics.set_gauge("workers", self.workers)
+        metrics.set_gauge("response_time_seconds", response)
+        run_span.set(queries=queries, bytes_shipped=bytes_shipped,
+                     response_time=response)
+        logger.info("executed %d node(s) on %d lane(s): %.3fs wall, "
+                    "simulated response %.3fs, %d byte(s) shipped",
+                    queries, len(lane_order), measured, response,
+                    bytes_shipped)
         return EngineResult(cache=cache, timings=timings,
                             response_time=response,
                             measured_seconds=measured,
@@ -351,3 +411,12 @@ class PlanExecutor:
                             violations=violations,
                             parallel_speedup=speedup,
                             workers=self.workers)
+
+
+def _pool_stats(sources: dict) -> tuple[int, int]:
+    """Summed (pool hits, pool misses) across a run's data sources."""
+    hits = sum(getattr(source, "pool_hits", 0)
+               for source in sources.values())
+    misses = sum(getattr(source, "pool_misses", 0)
+                 for source in sources.values())
+    return hits, misses

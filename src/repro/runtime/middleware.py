@@ -20,11 +20,13 @@ depth, mirroring the paper's runtime re-unrolling loop.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError, RecursionDepthExceeded
 from repro.dtd.analysis import recursive_types
+from repro.obs.tracer import NULL_TRACER
 from repro.relational.network import Network
 from repro.relational.source import DataSource, MEDIATOR_NAME, Mediator
 from repro.relational.statistics import StatisticsCatalog
@@ -37,6 +39,8 @@ from repro.optimizer.qdg import build_qdg
 from repro.runtime.engine import Engine, EngineResult
 from repro.runtime.recursion import strip_unfolding, unfold_aig
 from repro.runtime.tagging import build_document
+
+logger = logging.getLogger("repro.middleware")
 
 
 @dataclass
@@ -72,7 +76,13 @@ class Middleware:
                  scheduling: str = "static",
                  violation_mode: str = "abort",
                  workers: int | str = 1,
-                 emulate_overheads: bool = False):
+                 emulate_overheads: bool = False,
+                 tracer=None):
+        #: Observability handle (see :mod:`repro.obs`): a recording
+        #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
+        #: for every evaluation; the default no-op tracer leaves the hot
+        #: path unchanged.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.aig = aig
         self.sources = sources
         self.network = network or Network()
@@ -116,6 +126,9 @@ class Middleware:
             if report is not None and (
                     not recursive or not self._needs_deeper(report, depth)):
                 return report
+            logger.warning("recursion deeper than unfolding estimate %s; "
+                           "re-unrolling at depth %s", depth, depth * 2)
+            self.tracer.metrics.add("recursion_reunrollings", 1)
             depth = depth * 2
             if depth > self.max_unfold_depth:
                 raise RecursionDepthExceeded(
@@ -149,18 +162,29 @@ class Middleware:
         if not hasattr(self, "_prepared"):
             self._prepared = {}
         if depth not in self._prepared:
+            tracer = self.tracer
             working = self.aig
             if depth is not None:
-                working = unfold_aig(self.aig, depth)
-            spec = specialize(working, self.stats)
-            graph, tagging_plan = build_qdg(spec, self.stats)
+                with tracer.span("unfold", "unfold", depth=depth):
+                    working = unfold_aig(self.aig, depth)
+            spec = specialize(working, self.stats, tracer=tracer)
+            with tracer.span("build-qdg", "qdg"):
+                graph, tagging_plan = build_qdg(spec, self.stats)
             model = CostModel(self.stats, overhead=self.query_overhead)
-            if self.merging:
-                graph, plan, cost, estimates = merge_graph(graph, model,
-                                                           self.network)
-            else:
-                plan, cost, estimates = unmerged_plan(graph, model,
-                                                      self.network)
+            with tracer.span("merge+schedule", "optimize",
+                             merging=self.merging) as optimize_span:
+                if self.merging:
+                    graph, plan, cost, estimates = merge_graph(
+                        graph, model, self.network, tracer=tracer)
+                else:
+                    plan, cost, estimates = unmerged_plan(graph, model,
+                                                          self.network)
+                optimize_span.set(nodes=len(graph), predicted_cost=cost)
+            tracer.metrics.set_gauge("qdg_nodes", len(graph))
+            tracer.metrics.set_gauge("plan_cost_estimate_seconds", cost)
+            logger.info("prepared plan (depth=%s): %d node(s), predicted "
+                        "cost %.3fs, merging %s", depth, len(graph), cost,
+                        "on" if self.merging else "off")
             self._prepared[depth] = (graph, plan, tagging_plan, cost,
                                      estimates)
         return self._prepared[depth]
@@ -227,29 +251,58 @@ class Middleware:
                      f"{self.network})")
         return "\n".join(lines)
 
+    def calibration_report(self):
+        """Modeled-vs-measured cost report for the most recent evaluation.
+
+        Joins the optimizer's per-node estimates (``eval_cost``, ``size``,
+        cardinality — Section 5.2) against the engine's measured
+        :class:`~repro.runtime.engine.NodeTiming` records; see
+        :mod:`repro.obs.calibrate`.  Raises
+        :class:`~repro.errors.EvaluationError` before any evaluation ran.
+        """
+        from repro.obs.calibrate import build_calibration
+        if not hasattr(self, "_last_result"):
+            raise EvaluationError(
+                "calibration_report() requires a prior evaluate() run")
+        graph, _, _, _, estimates = self.prepare(self._last_depth)
+        return build_calibration(graph, estimates,
+                                 self._last_result.timings)
+
     # ------------------------------------------------------------------
     def _evaluate_at_depth(self, root_inh: dict,
                            depth: int | None) -> ExecutionReport:
-        optimization_started = time.perf_counter()
-        graph, plan, tagging_plan, estimated_cost, estimates = self.prepare(
-            depth)
-        optimization_seconds = time.perf_counter() - optimization_started
-        scheduler = None
-        if self.scheduling == "dynamic":
-            from repro.runtime.dynamic import DynamicScheduler
-            scheduler = DynamicScheduler(graph, estimates, self.network)
-        engine = Engine(graph, plan, self.sources, self.network,
-                        query_overhead=self.query_overhead,
-                        dynamic_scheduler=scheduler,
-                        violation_mode=self.violation_mode,
-                        workers=self.workers,
-                        emulate_overheads=self.emulate_overheads)
-        result = engine.run(root_inh)
-        document = build_document(tagging_plan, result.cache, root_inh)
-        if depth is not None:
-            strip_unfolding(document)
+        tracer = self.tracer
+        with tracer.span("evaluate", "pipeline", depth=depth):
+            optimization_started = time.perf_counter()
+            graph, plan, tagging_plan, estimated_cost, estimates = \
+                self.prepare(depth)
+            optimization_seconds = (time.perf_counter()
+                                    - optimization_started)
+            scheduler = None
+            if self.scheduling == "dynamic":
+                from repro.runtime.dynamic import DynamicScheduler
+                scheduler = DynamicScheduler(graph, estimates, self.network)
+            engine = Engine(graph, plan, self.sources, self.network,
+                            query_overhead=self.query_overhead,
+                            dynamic_scheduler=scheduler,
+                            violation_mode=self.violation_mode,
+                            workers=self.workers,
+                            emulate_overheads=self.emulate_overheads,
+                            tracer=tracer)
+            result = engine.run(root_inh)
+            with tracer.span("tagging", "tagging") as tagging_span:
+                document = build_document(tagging_plan, result.cache,
+                                          root_inh)
+                if depth is not None:
+                    strip_unfolding(document)
+                tagging_span.set(document_nodes=document.size())
+            tracer.metrics.set_gauge("document_nodes", document.size())
+            tracer.metrics.set_gauge("unfold_depth",
+                                     0 if depth is None else depth)
+            tracer.metrics.add("evaluations", 1)
         self._last_result = result
         self._last_tagging = tagging_plan
+        self._last_depth = depth
         return ExecutionReport(
             document=document,
             response_time=result.response_time,
