@@ -33,6 +33,7 @@ from repro.errors import (
     RecursionDepthExceeded,
     RecursionTruncated,
     ReproError,
+    SourceUnavailableError,
     SpecError,
     SQLSyntaxError,
     TypeCompatibilityError,
@@ -84,6 +85,12 @@ from repro.aig import (
     union,
 )
 from repro.compilation import specialize
+from repro.resilience import (
+    BreakerPolicy,
+    FailureReport,
+    FaultInjector,
+    RetryPolicy,
+)
 from repro.runtime import ExecutionReport, Middleware, strip_unfolding, unfold_aig
 
 __version__ = "1.0.0"
@@ -94,6 +101,7 @@ __all__ = [
     "CyclicDependencyError", "DTDError", "ConstraintError", "SQLSyntaxError",
     "CompilationError", "PlanError", "EvaluationError", "EvaluationAborted",
     "RecursionDepthExceeded", "RecursionTruncated", "ValidationError",
+    "SourceUnavailableError",
     # DTD + XML
     "DTD", "parse_dtd", "normalize_dtd", "unfold_dtd",
     "XMLElement", "XMLText", "element", "text", "serialize", "parse_xml",
@@ -110,5 +118,7 @@ __all__ = [
     # pipeline
     "specialize", "unfold_aig", "strip_unfolding",
     "Middleware", "ExecutionReport",
+    # resilience
+    "FaultInjector", "RetryPolicy", "BreakerPolicy", "FailureReport",
     "__version__",
 ]

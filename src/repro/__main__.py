@@ -3,12 +3,15 @@
 Commands:
 
 * ``demo [--scale S] [--date D] [--no-merge] [--dynamic] [--workers N]
-  [--trace FILE] [--metrics] [--metrics-json FILE]`` — generate a hospital
+  [--trace FILE] [--metrics] [--metrics-json FILE] [--faults SPEC]
+  [--retries N] [--deadline S] [--degrade]`` — generate a hospital
   dataset and produce one day's report through the middleware, printing
   summary statistics (add ``--xml`` to dump the document; ``--workers N``
   or ``--workers auto`` executes per-source query sequences concurrently;
   ``--trace`` writes a Chrome trace-event JSON loadable in Perfetto /
-  ``chrome://tracing`` with one track per worker lane).
+  ``chrome://tracing`` with one track per worker lane; ``--faults``
+  injects deterministic failures, recovered by ``--retries``/``--degrade``
+  — see docs/RESILIENCE.md).
 * ``calibrate [--scale S] [--workers N] [--json FILE]`` — run one report
   and print the cost-model calibration: the optimizer's modeled
   ``eval_cost``/``size`` per QDG node joined against measured wall time
@@ -63,14 +66,32 @@ def _demo(args) -> int:
     sources, dataset = make_loaded_sources(args.scale)
     date = args.date or dataset.busiest_date()
     tracer = _make_tracer(args)
+    retry_policy = None
+    if args.retries is not None:
+        from repro.resilience import RetryPolicy
+        retry_policy = RetryPolicy(retries=args.retries,
+                                   seed=args.fault_seed)
     middleware = Middleware(
         aig, sources, Network.mbps(args.mbps),
         merging=not args.no_merge,
         scheduling="dynamic" if args.dynamic else "static",
         unfold_depth="auto",
         workers=args.workers,
-        tracer=tracer)
-    report = middleware.evaluate({"date": date})
+        tracer=tracer,
+        retry_policy=retry_policy,
+        deadline=args.deadline,
+        on_source_failure="degrade" if args.degrade else "abort")
+    injector = None
+    if args.faults:
+        from repro.resilience import FaultInjector
+        injector = FaultInjector.from_spec(args.faults, seed=args.fault_seed)
+        injector.install(sources)
+        print(f"faults: {args.faults} (seed {args.fault_seed})")
+    try:
+        report = middleware.evaluate({"date": date})
+    finally:
+        if injector is not None:
+            injector.uninstall(sources)
     patients = len(report.document.find_all("patient"))
     print(f"report for {date} ({args.scale} dataset): "
           f"{patients} patients, {report.document.size()} nodes")
@@ -82,6 +103,12 @@ def _demo(args) -> int:
     print(f"execution: {report.workers} worker lane(s), "
           f"{report.measured_seconds:.3f}s wall, "
           f"parallel speedup {report.parallel_speedup:.2f}x")
+    if injector is not None:
+        fired = ", ".join(str(clause)
+                          for _, clause in injector.fired) or "none"
+        print(f"faults fired: {fired}")
+    if report.failure_report is not None:
+        print(f"DEGRADED: {report.failure_report.summary()}")
     _export_observability(tracer, args)
     if args.xml:
         print(serialize(report.document, indent=2))
@@ -147,6 +174,17 @@ def _explain(args) -> int:
                             merging=not args.no_merge)
     print(middleware.explain(args.depth))
     return 0
+
+
+def _faults_value(text: str) -> str:
+    """argparse type for ``--faults``: validate the spec grammar early."""
+    from repro.errors import SpecError
+    from repro.resilience import parse_fault_spec
+    try:
+        parse_fault_spec(text)
+    except SpecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def _workers_value(text: str):
@@ -219,6 +257,22 @@ def main(argv: list[str] | None = None) -> int:
                       help="print the metrics/span summary after the run")
     demo.add_argument("--metrics-json", default=None, metavar="FILE",
                       help="write counters/gauges/span rollups as JSON")
+    demo.add_argument("--faults", default=None, metavar="SPEC",
+                      type=_faults_value,
+                      help="inject deterministic faults, e.g. "
+                           "'DB2:error@3,DB1:slow@2:0.05' "
+                           "(see docs/RESILIENCE.md)")
+    demo.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                      help="seed for fault injection and retry jitter "
+                           "(default 0)")
+    demo.add_argument("--retries", type=int, default=None, metavar="N",
+                      help="retry transient query failures up to N times "
+                           "with exponential backoff (default: no retries)")
+    demo.add_argument("--deadline", type=float, default=None, metavar="S",
+                      help="per-query deadline in seconds")
+    demo.add_argument("--degrade", action="store_true",
+                      help="on unrecoverable source failure, skip optional "
+                           "subtrees instead of aborting")
     demo.add_argument("--xml", action="store_true",
                       help="print the generated document")
     demo.set_defaults(handler=_demo)

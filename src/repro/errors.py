@@ -74,6 +74,15 @@ class EvaluationAborted(EvaluationError):
         super().__init__(f"evaluation aborted: constraint(s) violated: {names}")
 
 
+class SourceUnavailableError(EvaluationError):
+    """A data source was not called because its circuit breaker is open.
+
+    Raised by the executor's lane dispatcher (see
+    :mod:`repro.resilience.breaker`) so a source that has repeatedly failed
+    is not hammered with further queries while it recovers.
+    """
+
+
 class RecursionDepthExceeded(EvaluationError):
     """A hard safety bound on recursive unfolding was exceeded."""
 

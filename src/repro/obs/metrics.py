@@ -9,6 +9,13 @@ A :class:`MetricsRegistry` is a flat, thread-safe map of named numbers:
 * **gauges** hold the latest value (``set_gauge``) — QDG size, predicted
   plan cost, merge savings, document size, unfolding depth.
 
+The resilience layer (:mod:`repro.resilience`, docs/RESILIENCE.md) adds
+its own counter family: ``retry_attempts`` (and per-source
+``retry_attempts.<src>``), ``retry_recoveries``, ``retries_exhausted``,
+``deadline_aborts``, ``breaker_transitions`` (and per-source scoped
+variants), and for degraded runs ``degraded_runs``, ``nodes_skipped``,
+``subtrees_degraded``, ``guards_unchecked``.
+
 :data:`NULL_METRICS` is the no-op twin used by the null tracer so
 instrumented code never needs an ``if tracing`` branch.
 """

@@ -12,6 +12,7 @@ results are cached and synthesized-attribute computations run.
 from __future__ import annotations
 
 import itertools
+import logging
 import sqlite3
 import threading
 import time
@@ -19,6 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError
 from repro.relational.schema import SourceSchema
+
+logger = logging.getLogger("repro.source")
 
 #: Reserved name of the mediator pseudo-source.
 MEDIATOR_NAME = "Mediator"
@@ -146,6 +149,10 @@ class DataSource:
         self.total_seconds = 0.0
         self.pool_hits = 0       # leases served from the pool (reuse)
         self.pool_misses = 0     # leases that had to open a connection
+        self.leases_outstanding = 0  # acquired but not yet released
+        #: Optional :class:`repro.resilience.faults.FaultInjector` hook —
+        #: consulted at the statement and lease boundaries when installed.
+        self.fault_injector = None
         self._temp_counter = 0
         self._create_base_tables()
 
@@ -172,20 +179,52 @@ class DataSource:
         if self._closed:
             raise EvaluationError(
                 f"source {self.name!r} is closed")
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.on_acquire(self.name)
+            except sqlite3.Error as error:
+                raise EvaluationError(
+                    f"source {self.name!r}: acquiring a connection failed: "
+                    f"{error}") from error
         with self._pool_lock:
             if self._pool:
                 self.pool_hits += 1
+                self.leases_outstanding += 1
                 return self._pool.pop()
             self.pool_misses += 1
+            self.leases_outstanding += 1
         return self._connect()
 
     def release_connection(self, connection: sqlite3.Connection) -> None:
-        """Return a leased connection to the pool for later reuse."""
+        """Return a leased connection to the pool for later reuse.
+
+        A connection handed back mid-transaction (a shipment or query was
+        aborted between BEGIN and COMMIT — deadline interrupt, injected
+        fault, thread crash) is rolled back first; pooling it dirty would
+        poison the next lease with "cannot start a transaction within a
+        transaction".  If even the rollback fails the connection is closed
+        instead of pooled.
+        """
+        dirty = False
+        try:
+            if connection.in_transaction:
+                connection.execute("ROLLBACK")
+        except sqlite3.Error as error:
+            dirty = True
+            logger.warning("source %s: rollback of a returned pooled "
+                           "connection failed (%s); closing it instead of "
+                           "pooling", self.name, error)
         with self._pool_lock:
-            if self._closed:
+            self.leases_outstanding = max(0, self.leases_outstanding - 1)
+            if self._closed or dirty:
                 connection.close()
             else:
                 self._pool.append(connection)
+
+    def pool_size(self) -> int:
+        """Idle pooled connections (excludes outstanding leases)."""
+        with self._pool_lock:
+            return len(self._pool)
 
     def _create_base_tables(self) -> None:
         for relation_schema in self.schema.relations:
@@ -207,17 +246,51 @@ class DataSource:
     # execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: tuple = (),
-                connection: sqlite3.Connection | None = None) -> ResultSet:
+                connection: sqlite3.Connection | None = None,
+                deadline: float | None = None) -> ResultSet:
         """Run a SELECT, returning a ResultSet; timing is recorded.
 
         ``connection`` selects a leased pool connection (concurrent
         executor); the source's own connection is used by default.
+        ``deadline`` bounds this statement's wall time in seconds: SQLite's
+        progress handler interrupts the running VM once it elapses, and a
+        post-statement check catches time lost outside the VM (injected
+        slow faults, scheduler stalls).  Both paths raise
+        :class:`~repro.resilience.retry.QueryDeadlineExceeded` wrapped in
+        an :class:`~repro.errors.EvaluationError`.
         """
         conn = connection if connection is not None else self.connection
         start = time.perf_counter()
         try:
-            cursor = conn.execute(sql, params)
-            rows = cursor.fetchall()
+            if self.fault_injector is not None:
+                delay = self.fault_injector.on_statement(self.name)
+                if delay > 0.0:
+                    self._faulted_sleep(delay, deadline, start)
+            if deadline is not None:
+                from repro.resilience.retry import (
+                    PROGRESS_HANDLER_OPCODES, make_deadline_handler)
+                conn.set_progress_handler(
+                    make_deadline_handler(time.perf_counter, start, deadline),
+                    PROGRESS_HANDLER_OPCODES)
+            try:
+                cursor = conn.execute(sql, params)
+                rows = cursor.fetchall()
+            except sqlite3.OperationalError as error:
+                if (deadline is not None and "interrupt" in str(error)
+                        and time.perf_counter() - start > deadline):
+                    from repro.resilience.retry import QueryDeadlineExceeded
+                    raise QueryDeadlineExceeded(
+                        f"statement exceeded its {deadline:g}s deadline"
+                    ) from error
+                raise
+            finally:
+                if deadline is not None:
+                    conn.set_progress_handler(None, 0)
+            if (deadline is not None
+                    and time.perf_counter() - start > deadline):
+                from repro.resilience.retry import QueryDeadlineExceeded
+                raise QueryDeadlineExceeded(
+                    f"statement exceeded its {deadline:g}s deadline")
         except sqlite3.Error as error:
             raise EvaluationError(
                 f"source {self.name!r}: SQL failed: {error}\n  {sql}") from error
@@ -229,6 +302,24 @@ class DataSource:
         self.total_queries += 1
         self.total_seconds += elapsed
         return ResultSet(columns, rows)
+
+    def _faulted_sleep(self, delay: float, deadline: float | None,
+                       start: float) -> None:
+        """Serve an injected slow-query delay, honoring the deadline.
+
+        Sleeping happens outside the SQLite VM, so the progress handler
+        cannot interrupt it; instead the sleep is clipped at the deadline
+        and the overrun raised as a deadline abort.
+        """
+        if deadline is not None:
+            remaining = deadline - (time.perf_counter() - start)
+            if delay > remaining:
+                from repro.resilience.retry import QueryDeadlineExceeded
+                time.sleep(max(0.0, remaining))
+                raise QueryDeadlineExceeded(
+                    f"injected {delay:g}s slow query exceeded the "
+                    f"{deadline:g}s deadline")
+        time.sleep(delay)
 
     def execute_script(self, sql: str) -> None:
         self.connection.executescript(sql)
@@ -254,6 +345,10 @@ class DataSource:
             name = f"__ship_{self._temp_counter}"
         quoted = ", ".join(f'"{c}"' for c in columns)
         try:
+            if self.fault_injector is not None:
+                delay = self.fault_injector.on_statement(self.name)
+                if delay > 0.0:
+                    time.sleep(delay)
             conn.execute("BEGIN")
             conn.execute(f'DROP TABLE IF EXISTS "{name}"')
             conn.execute(f'CREATE TABLE "{name}" ({quoted})')
@@ -264,9 +359,16 @@ class DataSource:
             conn.execute("COMMIT")
         except sqlite3.Error as error:
             try:
-                conn.execute("ROLLBACK")
-            except sqlite3.Error:
-                pass
+                if conn.in_transaction:
+                    conn.execute("ROLLBACK")
+            except sqlite3.Error as rollback_error:
+                # A swallowed rollback hides a dead connection: the next
+                # statement on it fails with a confusing open-transaction
+                # error.  Keep raising the original shipment error, but
+                # leave an observable trace of the rollback failure.
+                logger.warning(
+                    "source %s: rollback after failed shipment into %r "
+                    "also failed: %s", self.name, name, rollback_error)
             raise EvaluationError(
                 f"source {self.name!r}: shipping into {name!r} failed: "
                 f"{error}") from error

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for :class:`~repro.relational.source.DataSource`.
+
+A :class:`FaultInjector` is installed on a set of sources and fires
+programmable faults at the two boundaries every query crosses — the
+``execute``/``create_temp_table`` statement boundary and the
+``acquire_connection`` pool boundary — so the sequential engine and the
+threaded executor see exactly the same failures.
+
+Faults are addressed by a *per-source operation index* (1-based, counted
+from the moment the injector is installed), which makes every run with the
+same plan and the same spec reproducible: the static executor issues each
+source's queries in schedule order regardless of worker count, so "the 3rd
+statement on DB2" names the same query under ``workers=1`` and
+``workers=8``.
+
+Spec grammar (see docs/RESILIENCE.md)::
+
+    spec     := clause ("," clause)*
+    clause   := SOURCE ":" kind "@" N [ ":" ARG ]
+    kind     := "error"       -- transient OperationalError on the N-th statement
+              | "slow"        -- delay the N-th statement by ARG seconds
+              | "drop"        -- simulate a dropped connection on the N-th statement
+              | "down"        -- every statement from the N-th on fails (outage)
+              | "acquire"     -- fail the N-th connection lease
+
+    e.g.  "DB2:error@3,DB1:slow@2:0.05,DB3:down@1"
+
+Injected statement faults raise :class:`sqlite3.OperationalError` *inside*
+the source's normal error path, so they are wrapped into
+:class:`~repro.errors.EvaluationError` with the operational cause attached
+— indistinguishable from a real flaky backend, and recognized as transient
+by :func:`repro.resilience.retry.is_transient`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+
+#: Statement-boundary fault kinds (``acquire`` is the lease boundary).
+STATEMENT_KINDS = ("error", "slow", "drop", "down")
+ALL_KINDS = STATEMENT_KINDS + ("acquire",)
+
+
+class InjectedFault(sqlite3.OperationalError):
+    """An injected transient failure (subclass of OperationalError so the
+    normal sqlite error paths wrap and classify it like the real thing)."""
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    source: str
+    kind: str            # 'error' | 'slow' | 'drop' | 'down' | 'acquire'
+    at: int              # 1-based operation index on that source
+    arg: float = 0.0     # seconds for 'slow'
+
+    def __str__(self) -> str:
+        suffix = f":{self.arg:g}" if self.kind == "slow" else ""
+        return f"{self.source}:{self.kind}@{self.at}{suffix}"
+
+
+def parse_fault_spec(spec: str) -> list[FaultClause]:
+    """Parse the ``--faults`` grammar into clauses.
+
+    Raises :class:`~repro.errors.SpecError` on malformed input so CLI and
+    API callers get a typed, contextual error.
+    """
+    clauses: list[FaultClause] = []
+    for raw in spec.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        try:
+            source, rest = clause.split(":", 1)
+            if ":" in rest:
+                kind_at, arg_text = rest.split(":", 1)
+                arg = float(arg_text)
+            else:
+                kind_at, arg = rest, 0.0
+            kind, at_text = kind_at.split("@", 1)
+            at = int(at_text)
+        except ValueError:
+            raise SpecError(
+                f"malformed fault clause {clause!r} (expected "
+                f"SOURCE:kind@N[:ARG])") from None
+        if kind not in ALL_KINDS:
+            raise SpecError(
+                f"unknown fault kind {kind!r} in {clause!r} "
+                f"(expected one of {', '.join(ALL_KINDS)})")
+        if at < 1:
+            raise SpecError(
+                f"fault index must be >= 1 in {clause!r} (indices are "
+                f"1-based)")
+        if kind == "slow" and arg <= 0:
+            raise SpecError(
+                f"slow fault needs a positive delay in {clause!r} "
+                f"(e.g. DB1:slow@2:0.05)")
+        clauses.append(FaultClause(source.strip(), kind, at, arg))
+    return clauses
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, programmable fault schedule over a set of sources.
+
+    The ``seed`` does not randomize the faults themselves (clauses are
+    exact); it is carried alongside so retry jitter and any future
+    probabilistic kinds derive from one number, making a whole
+    fault+recovery run reproducible from ``(spec, seed)``.
+    """
+
+    clauses: list[FaultClause] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+        self._statement_counts: dict[str, int] = {}
+        self._acquire_counts: dict[str, int] = {}
+        self.fired: list[tuple[str, FaultClause]] = []
+        self._by_source: dict[str, list[FaultClause]] = {}
+        for clause in self.clauses:
+            self._by_source.setdefault(clause.source, []).append(clause)
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        return cls(parse_fault_spec(spec), seed)
+
+    # ------------------------------------------------------------------
+    def install(self, sources: dict) -> "FaultInjector":
+        """Attach this injector to every source in ``sources``."""
+        for source in sources.values():
+            source.fault_injector = self
+        return self
+
+    def uninstall(self, sources: dict) -> None:
+        for source in sources.values():
+            if getattr(source, "fault_injector", None) is self:
+                source.fault_injector = None
+
+    # ------------------------------------------------------------------
+    # boundary hooks (called by DataSource)
+    # ------------------------------------------------------------------
+    def on_statement(self, source_name: str) -> float:
+        """Called before each statement executes on ``source_name``.
+
+        Returns a delay in seconds to sleep (``slow`` faults) and raises
+        :class:`InjectedFault` for ``error``/``drop``/``down`` hits.
+        """
+        if source_name not in self._by_source:
+            return 0.0
+        with self._lock:
+            index = self._statement_counts.get(source_name, 0) + 1
+            self._statement_counts[source_name] = index
+            hit = self._match(source_name, index, STATEMENT_KINDS)
+            if hit is not None:
+                self.fired.append((source_name, hit))
+        if hit is None:
+            return 0.0
+        if hit.kind == "slow":
+            return hit.arg
+        if hit.kind == "drop":
+            raise InjectedFault(
+                f"injected fault {hit}: connection to {source_name!r} "
+                f"dropped mid-query")
+        if hit.kind == "down":
+            raise InjectedFault(
+                f"injected fault {hit}: source {source_name!r} is down")
+        raise InjectedFault(
+            f"injected fault {hit}: transient failure on {source_name!r}")
+
+    def on_acquire(self, source_name: str) -> None:
+        """Called on each connection lease from ``source_name``'s pool."""
+        if source_name not in self._by_source:
+            return
+        with self._lock:
+            index = self._acquire_counts.get(source_name, 0) + 1
+            self._acquire_counts[source_name] = index
+            hit = self._match(source_name, index, ("acquire",))
+            if hit is not None:
+                self.fired.append((source_name, hit))
+        if hit is not None:
+            raise InjectedFault(
+                f"injected fault {hit}: could not open a connection to "
+                f"{source_name!r}")
+
+    # ------------------------------------------------------------------
+    def _match(self, source_name: str, index: int,
+               kinds: tuple[str, ...]) -> FaultClause | None:
+        for clause in self._by_source.get(source_name, ()):
+            if clause.kind not in kinds:
+                continue
+            if clause.kind == "down":
+                if index >= clause.at:
+                    return clause
+            elif index == clause.at:
+                return clause
+        return None
+
+    def reset(self) -> None:
+        """Zero the operation counters (faults can fire again)."""
+        with self._lock:
+            self._statement_counts.clear()
+            self._acquire_counts.clear()
+            self.fired.clear()

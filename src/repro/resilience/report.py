@@ -1,0 +1,62 @@
+"""Structured account of what a degraded evaluation skipped.
+
+When ``Middleware(on_source_failure="degrade")`` drops an optional subtree
+because its source stayed down, the run still succeeds — but the caller
+must be able to see exactly what is missing.  A :class:`FailureReport`
+records the failed plan nodes (with their errors), the transitively skipped
+nodes, the DTD subtrees that were degraded to empty, and any constraint
+guards that went unchecked because their inputs were skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DegradedSubtree:
+    """One iteration subtree emitted empty instead of populated."""
+
+    path: str              # occurrence path in the DTD tree
+    element_type: str      # the element type whose instances were dropped
+    node: str              # the QDG node that would have produced its table
+
+    def __str__(self) -> str:
+        return f"{self.path} ({self.element_type}, node {self.node})"
+
+
+@dataclass
+class FailureReport:
+    """Everything a degraded run left out.
+
+    ``failed_nodes`` maps the nodes that actually errored to their error
+    text; ``skipped_nodes`` is the full transitive closure that never ran;
+    ``unchecked_guards`` names constraints whose guard inputs were skipped,
+    so the emitted document was *not* verified against them.
+    """
+
+    failed_nodes: dict[str, str] = field(default_factory=dict)
+    skipped_nodes: list[str] = field(default_factory=list)
+    degraded_subtrees: list[DegradedSubtree] = field(default_factory=list)
+    unchecked_guards: list[str] = field(default_factory=list)
+    sources_down: list[str] = field(default_factory=list)
+    retry_attempts: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.failed_nodes or self.skipped_nodes)
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable account."""
+        if not self:
+            return "no failures"
+        parts = [f"{len(self.failed_nodes)} node(s) failed"]
+        if self.sources_down:
+            parts.append("source(s) down: " + ", ".join(self.sources_down))
+        parts.append(f"{len(self.skipped_nodes)} node(s) skipped")
+        if self.degraded_subtrees:
+            parts.append("degraded subtrees: " + "; ".join(
+                str(subtree) for subtree in self.degraded_subtrees))
+        if self.unchecked_guards:
+            parts.append("UNCHECKED constraints: "
+                         + ", ".join(self.unchecked_guards))
+        return "; ".join(parts)

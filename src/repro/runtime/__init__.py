@@ -11,6 +11,11 @@ phases (Sections 5.1, 5.5).
   output relations into the final XML tree, erase internal states and
   unfolding suffixes, check guards.
 * :mod:`repro.runtime.middleware` — the facade: AIG in, document out.
+
+Failure handling (retries, circuit breakers, degraded runs) lives in
+:mod:`repro.resilience` and is wired through ``Middleware``'s
+``retry_policy`` / ``deadline`` / ``breaker_policy`` /
+``on_source_failure`` parameters — see docs/RESILIENCE.md.
 """
 
 from repro.runtime.recursion import unfold_aig, strip_unfolding

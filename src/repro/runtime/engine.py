@@ -79,6 +79,9 @@ class EngineResult:
     #: spent) divided by the measured wall time of this run.
     parallel_speedup: float = 1.0
     workers: int = 1
+    #: :class:`~repro.resilience.report.FailureReport` of a degraded run
+    #: (None when every node executed).
+    failure_report: object = None
 
 
 class Engine:
@@ -99,7 +102,12 @@ class Engine:
                  violation_mode: str = "abort",
                  workers: int | str = 1,
                  emulate_overheads: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 retry_policy=None,
+                 breakers=None,
+                 on_source_failure: str = "abort",
+                 deadline: float | None = None,
+                 tagging_plan=None):
         from repro.optimizer.cost import (PER_INPUT_ROW, PER_OUTPUT_ROW,
                                           QUERY_OVERHEAD)
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -136,8 +144,31 @@ class Engine:
         self.violation_mode = violation_mode
         self.workers = workers
         self.emulate_overheads = emulate_overheads
+        #: Resilience (see :mod:`repro.resilience`): a
+        #: :class:`~repro.resilience.retry.RetryPolicy` retries transient
+        #: per-node failures; ``breakers`` (a
+        #: :class:`~repro.resilience.breaker.BreakerBoard`) is consulted by
+        #: the lane dispatcher before dispatch; ``deadline`` bounds each
+        #: statement's wall time; ``on_source_failure="degrade"`` skips
+        #: DTD-optional subtrees of a dead source instead of aborting
+        #: (requires ``tagging_plan`` to prove optionality).
+        if on_source_failure not in ("abort", "degrade"):
+            raise PlanError(f"on_source_failure must be 'abort' or "
+                            f"'degrade', got {on_source_failure!r}")
+        self.retry_policy = retry_policy
+        self.breakers = breakers
+        self.on_source_failure = on_source_failure
+        self.deadline = deadline
+        self.tagging_plan = tagging_plan
         self._physical: dict[str, str] = {}
         self._physical_counter = 0
+
+    def breaker_for(self, source_name: str):
+        """The circuit breaker guarding ``source_name`` (None when breakers
+        are disabled; the mediator is never guarded — it is in-process)."""
+        if self.breakers is None or source_name == MEDIATOR_NAME:
+            return None
+        return self.breakers.breaker_for(source_name)
 
     # ------------------------------------------------------------------
     def run(self, root_inh: dict) -> EngineResult:
@@ -200,7 +231,8 @@ class Engine:
         scalar_values = {param: root_inh[member]
                          for param, member in node.root_params.items()}
         sql, params = render_sqlite(node.query, scalar_values, bindings)
-        result = source.execute(sql, tuple(params), connection=connection)
+        result = source.execute(sql, tuple(params), connection=connection,
+                                deadline=self.deadline)
         if node.kind == "condition":
             result = _normalize_condition(result, node.name)
         output = _with_ids(result)
@@ -215,7 +247,8 @@ class Engine:
             sql = sql.replace(f"{{{input_name}}}", f'"{physical}"')
         for member, value in root_inh.items():
             sql = sql.replace(f"{{root:{member}}}", _sql_literal(value))
-        result = self.mediator.execute(sql, connection=connection)
+        result = self.mediator.execute(sql, connection=connection,
+                                       deadline=self.deadline)
         output = _with_ids(result)
         return self.mediator.last_execution_seconds, {node.name: output}, 0
 
@@ -266,7 +299,8 @@ class Engine:
         statement = ("WITH " + ", ".join(with_parts) + " "
                      + " UNION ALL ".join(union_parts))
         result = source.execute(statement, tuple(all_params),
-                                connection=connection)
+                                connection=connection,
+                                deadline=self.deadline)
         elapsed = source.last_execution_seconds + materialize_seconds
 
         outputs: dict[str, ResultSet] = {}
@@ -362,6 +396,22 @@ class Engine:
             self.tracer.metrics.add("mediator_cache_tables", 1)
             self._physical[input_name] = physical
         return self._physical[input_name]
+
+    def cleanup(self) -> None:
+        """Drop this run's mediator-resident cache tables.
+
+        Tagging reads the in-memory result sets, never these tables, so
+        dropping them after execution (success *or* failure) leaves the
+        mediator's schema as it was found.  Best-effort: a dead mediator
+        connection must not mask the run's own outcome.
+        """
+        physical, self._physical = self._physical, {}
+        for table in physical.values():
+            try:
+                self.mediator.drop_table(table)
+            except Exception as error:  # noqa: BLE001 — cleanup only
+                logger.debug("mediator cleanup of %r failed: %s",
+                             table, error)
 
 
 def _normalize_condition(result: ResultSet, node_name: str) -> ResultSet:

@@ -46,10 +46,17 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import EvaluationAborted, PlanError
+from repro.errors import (
+    EvaluationAborted,
+    EvaluationError,
+    PlanError,
+    SourceUnavailableError,
+)
 from repro.obs.tracer import MAIN_TRACK
-from repro.relational.source import MEDIATOR_NAME, ResultSet
-from repro.runtime.engine import EngineResult, NodeTiming
+from repro.relational.source import MEDIATOR_NAME, ResultSet, intern_columns
+from repro.resilience.report import DegradedSubtree, FailureReport
+from repro.resilience.retry import QueryDeadlineExceeded, is_transient
+from repro.runtime.engine import ID_COLUMN, EngineResult, NodeTiming
 
 logger = logging.getLogger("repro.executor")
 
@@ -175,6 +182,64 @@ class PlanExecutor:
         stop = threading.Event()
         threads: list[threading.Thread] = []
         connections: dict[str, object] = {}
+        skipped: set[str] = set()
+        failure_report: FailureReport | None = None
+        retry_count = 0
+
+        def attempt_node(task: _Task, span):
+            """``engine._execute`` under the retry policy and breaker.
+
+            Transient failures (see :func:`repro.resilience.retry.
+            is_transient`) are retried with deterministic backoff; every
+            attempt's outcome feeds the source's circuit breaker, and an
+            open breaker short-circuits remaining attempts.
+            """
+            nonlocal retry_count
+            node = task.node
+            policy = engine.retry_policy
+            attempts = policy.attempts if policy is not None else 1
+            breaker = engine.breaker_for(node.source)
+            last_error: BaseException | None = None
+            for attempt in range(1, attempts + 1):
+                if breaker is not None and breaker.blocked():
+                    raise SourceUnavailableError(
+                        f"source {node.source!r}: circuit breaker is "
+                        f"{breaker.state}; refusing {task.name!r}"
+                    ) from last_error
+                try:
+                    result = engine._execute(
+                        node, cache, root_inh,
+                        connection=connections.get(node.source),
+                        shipped=shipped)
+                except Exception as error:
+                    last_error = error
+                    if breaker is not None:
+                        breaker.record_failure()
+                    if _caused_by(error, QueryDeadlineExceeded):
+                        metrics.add("deadline_aborts", 1)
+                    if attempt < attempts and is_transient(error):
+                        delay = policy.delay(attempt, task.name)
+                        retry_count += 1
+                        metrics.add("retry_attempts", 1)
+                        metrics.add(f"retry_attempts.{node.source}", 1)
+                        span.set(retried=attempt)
+                        logger.warning(
+                            "node %s on %s failed (attempt %d/%d): %s; "
+                            "retrying in %.3fs", task.name, node.source,
+                            attempt, attempts, error, delay)
+                        time.sleep(delay)
+                        continue
+                    if attempt > 1:
+                        metrics.add("retries_exhausted", 1)
+                    raise
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                    if attempt > 1:
+                        metrics.add("retry_recoveries", 1)
+                        span.set(recovered_after_retries=attempt - 1)
+                    return result
+            raise AssertionError("unreachable")  # pragma: no cover
 
         def perform(task: _Task) -> _Completion:
             # The span *is* the lane-busy stopwatch (one timing source of
@@ -190,10 +255,7 @@ class PlanExecutor:
                 try:
                     if task.pre_sleep > 0.0:
                         time.sleep(task.pre_sleep)
-                    eval_seconds, outputs, rows = engine._execute(
-                        task.node, cache, root_inh,
-                        connection=connections.get(task.node.source),
-                        shipped=shipped)
+                    eval_seconds, outputs, rows = attempt_node(task, span)
                     if engine.emulate_overheads:
                         output_rows = sum(len(r) for r in outputs.values())
                         time.sleep(engine.modeled_overhead(
@@ -227,6 +289,9 @@ class PlanExecutor:
                         continue
                     sequence = lane_sequences[lane]
                     pos = lane_pos[lane]
+                    while pos < len(sequence) and sequence[pos] in skipped:
+                        pos += 1        # degraded nodes never dispatch
+                    lane_pos[lane] = pos
                     if pos < len(sequence) and sequence[pos] in ready:
                         picks.append((lane, sequence[pos]))
             else:
@@ -277,10 +342,109 @@ class PlanExecutor:
             for thread in threads:
                 thread.join()
 
+        def consumer_closure(name: str) -> list[str]:
+            """``name`` plus every transitive consumer (all not yet run)."""
+            closure = [name]
+            seen = {name}
+            frontier = [name]
+            while frontier:
+                for consumer in consumers[frontier.pop()]:
+                    if consumer not in seen:
+                        seen.add(consumer)
+                        closure.append(consumer)
+                        frontier.append(consumer)
+            return closure
+
+        def try_degrade(done: _Completion) -> bool:
+            """Skip the failed node's subtree if the DTD allows its absence.
+
+            Degradation is legal only when every tagging table the closure
+            would have produced belongs to a star iteration occurrence
+            (``e*`` — zero instances conform) and no choice-condition node
+            is lost (a missing selector cannot be tagged around).  Guards in
+            the closure are skipped but reported as *unchecked*.
+            """
+            nonlocal failure_report
+            error = done.error
+            if engine.on_source_failure != "degrade":
+                return False
+            if isinstance(error, EvaluationAborted):
+                return False         # a real constraint violation: surface it
+            if not (isinstance(error, SourceUnavailableError)
+                    or (isinstance(error, EvaluationError)
+                        and is_transient(error))):
+                return False         # logic/plan errors are never degradable
+            plan_info = engine.tagging_plan
+            if plan_info is None:
+                logger.error("on_source_failure='degrade' needs the tagging "
+                             "plan to prove subtree optionality; aborting")
+                return False
+            closure = consumer_closure(done.name)
+            table_paths: dict[str, list[str]] = {}
+            for path, producer in plan_info.table_of.items():
+                table_paths.setdefault(graph.resolve(producer),
+                                       []).append(path)
+            condition_nodes = {graph.resolve(producer)
+                               for producer in plan_info.condition_of.values()}
+            subtrees: list[DegradedSubtree] = []
+            unchecked: list[str] = []
+            for name in closure:
+                if name in condition_nodes:
+                    logger.error("cannot degrade %s: choice condition %s "
+                                 "would be lost", done.name, name)
+                    return False
+                node = graph.nodes[name]
+                if node.kind == "guard":
+                    unchecked.append(str(node.guard.constraint))
+                    continue
+                for path in table_paths.get(name, ()):
+                    occurrence = plan_info.tree.by_path[path]
+                    if occurrence.kind != "star":
+                        logger.error(
+                            "cannot degrade %s: subtree at %s is required "
+                            "by the DTD (%s occurrence)", done.name, path,
+                            occurrence.kind)
+                        return False
+                    subtrees.append(DegradedSubtree(
+                        path, occurrence.element_type, name))
+            if failure_report is None:
+                failure_report = FailureReport()
+            failure_report.failed_nodes[done.name] = (
+                f"{type(error).__name__}: {error}")
+            if (done.node.source != MEDIATOR_NAME and done.node.source
+                    not in failure_report.sources_down):
+                failure_report.sources_down.append(done.node.source)
+            for name in closure:
+                skipped.add(name)
+                for out_name, result in _empty_outputs(
+                        graph.nodes[name]).items():
+                    cache[out_name] = result
+                completion_time[name] = 0.0
+                remaining.discard(name)
+                ready.discard(name)
+                for consumer in consumers[name]:
+                    indegree[consumer] -= 1
+            failure_report.skipped_nodes.extend(closure)
+            failure_report.degraded_subtrees.extend(subtrees)
+            for constraint in unchecked:
+                if constraint not in failure_report.unchecked_guards:
+                    failure_report.unchecked_guards.append(constraint)
+            metrics.add("nodes_skipped", len(closure))
+            metrics.add("subtrees_degraded", len(subtrees))
+            metrics.add("guards_unchecked", len(unchecked))
+            logger.warning(
+                "degrading after failure of %s on %s: skipping %d node(s), "
+                "%d subtree(s) emitted empty, %d guard(s) unchecked (%s)",
+                done.name, done.node.source, len(closure), len(subtrees),
+                len(unchecked), error)
+            return True
+
         def process(done: _Completion):
             nonlocal bytes_shipped, queries, busy_total
             in_flight.pop(done.lane, None)
             if done.error is not None:
+                if try_degrade(done):
+                    return
                 raise done.error
             node = done.node
             queries += 1
@@ -334,7 +498,7 @@ class PlanExecutor:
             remaining.discard(done.name)
             for consumer in consumers[done.name]:
                 indegree[consumer] -= 1
-                if indegree[consumer] == 0:
+                if indegree[consumer] == 0 and consumer not in skipped:
                     ready.add(consumer)
 
         # --- main loop -------------------------------------------------
@@ -356,17 +520,41 @@ class PlanExecutor:
                 if not picks and not in_flight:
                     raise PlanError(
                         f"execution stuck; pending nodes {sorted(remaining)}")
+                # The dispatcher consults each lane's circuit breaker first:
+                # nodes bound for an open source fail immediately (and, in
+                # degrade mode, skip their subtree) without occupying a
+                # worker or waiting out retries.
+                rejected: list[_Completion] = []
+                accepted: list[_Task] = []
+                for lane, name in (picks if threaded else picks[:1]):
+                    node = graph.nodes[name]
+                    breaker = engine.breaker_for(node.source)
+                    task = dispatch(lane, name)
+                    if breaker is not None and breaker.blocked():
+                        rejected.append(_Completion(
+                            lane, name, node,
+                            error=SourceUnavailableError(
+                                f"source {node.source!r}: circuit breaker "
+                                f"is {breaker.state}; refusing {name!r}")))
+                        continue
+                    accepted.append(task)
+                for completion in rejected:
+                    process(completion)
                 if threaded:
-                    for lane, name in picks:
-                        task_queue.put(dispatch(lane, name))
-                    process(done_queue.get())
-                else:
-                    lane, name = picks[0]
-                    process(perform(dispatch(lane, name)))
+                    for task in accepted:
+                        task_queue.put(task)
+                    if not rejected and in_flight:
+                        process(done_queue.get())
+                elif accepted:
+                    process(perform(accepted[0]))
         finally:
             shut_down()
             for source_name, connection in connections.items():
                 engine.sources[source_name].release_connection(connection)
+            # Failure-path hygiene: shipped temp tables from completed steps
+            # must not outlive the run (a mid-plan abort used to strand
+            # ``__ship_N`` tables on every target source).
+            _drop_shipped_tables(engine.sources, shipped)
 
         # Final shipment of tagging-relevant outputs to the mediator.
         response = 0.0
@@ -397,6 +585,12 @@ class PlanExecutor:
                     pool_misses - pool_baseline[1])
         metrics.set_gauge("workers", self.workers)
         metrics.set_gauge("response_time_seconds", response)
+        if failure_report is not None:
+            failure_report.retry_attempts = retry_count
+            metrics.add("degraded_runs", 1)
+            run_span.set(degraded=True,
+                         skipped_nodes=len(failure_report.skipped_nodes))
+            logger.warning("run degraded: %s", failure_report.summary())
         run_span.set(queries=queries, bytes_shipped=bytes_shipped,
                      response_time=response)
         logger.info("executed %d node(s) on %d lane(s): %.3fs wall, "
@@ -410,7 +604,54 @@ class PlanExecutor:
                             bytes_shipped=bytes_shipped,
                             violations=violations,
                             parallel_speedup=speedup,
-                            workers=self.workers)
+                            workers=self.workers,
+                            failure_report=failure_report)
+
+
+def _empty_outputs(node) -> dict[str, ResultSet]:
+    """Schema-correct empty results for a skipped node (degradation).
+
+    Shapes match what :meth:`Engine._execute` would have produced — the
+    ``__id`` path-encoding column appended, one slice per merged member —
+    so tagging and downstream bookkeeping are oblivious to the skip.
+    """
+    members = getattr(node, "members", None)
+    if members:
+        outputs = {member.name: ResultSet(
+            intern_columns(list(member.output_columns) + [ID_COLUMN]), [])
+            for member in members}
+        outputs[node.name] = ResultSet(["__tag"], [])
+        return outputs
+    return {node.name: ResultSet(
+        intern_columns(list(node.output_columns) + [ID_COLUMN]), [])}
+
+
+def _drop_shipped_tables(sources: dict, shipped: dict) -> None:
+    """Best-effort drop of this run's shipped temp tables (ship-once
+    registry), so sources end the run with the table set they started with
+    even when the plan aborted mid-flight."""
+    for (source_name, _), table in sorted(shipped.items()):
+        source = sources.get(source_name)
+        if source is None:
+            continue
+        try:
+            source.drop_table(table)
+        except Exception as error:  # noqa: BLE001 — cleanup must not mask
+            logger.warning("cleanup of shipped table %r on %s failed: %s",
+                           table, source_name, error)
+    shipped.clear()
+
+
+def _caused_by(error: BaseException, exc_type: type) -> bool:
+    """Does ``error`` or its ``__cause__`` chain contain ``exc_type``?"""
+    seen = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, exc_type):
+            return True
+        current = current.__cause__
+    return False
 
 
 def _pool_stats(sources: dict) -> tuple[int, int]:

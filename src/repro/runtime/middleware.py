@@ -61,6 +61,9 @@ class ExecutionReport:
     violations: list = field(default_factory=list)  # report-mode findings
     parallel_speedup: float = 1.0   # sequential-sum ÷ measured wall time
     workers: int = 1                # resolved lane count of the run
+    #: :class:`~repro.resilience.report.FailureReport` when the run was
+    #: degraded (subtrees skipped after a source failure), else ``None``.
+    failure_report: object = None
 
 
 class Middleware:
@@ -77,7 +80,11 @@ class Middleware:
                  violation_mode: str = "abort",
                  workers: int | str = 1,
                  emulate_overheads: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 retry_policy=None,
+                 deadline: float | None = None,
+                 on_source_failure: str = "abort",
+                 breaker_policy=None):
         #: Observability handle (see :mod:`repro.obs`): a recording
         #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
         #: for every evaluation; the default no-op tracer leaves the hot
@@ -108,6 +115,35 @@ class Middleware:
                 f"got {workers!r}")
         self.workers = workers
         self.emulate_overheads = emulate_overheads
+        from repro.resilience.retry import RetryPolicy
+        if isinstance(retry_policy, int) and not isinstance(retry_policy,
+                                                            bool):
+            retry_policy = RetryPolicy(retries=retry_policy)
+        if retry_policy is not None and not isinstance(retry_policy,
+                                                       RetryPolicy):
+            raise EvaluationError(
+                f"retry_policy must be a RetryPolicy or int, "
+                f"got {retry_policy!r}")
+        self.retry_policy = retry_policy
+        self.deadline = deadline
+        if on_source_failure not in ("abort", "degrade"):
+            raise EvaluationError(
+                f"on_source_failure must be 'abort' or 'degrade', "
+                f"got {on_source_failure!r}")
+        self.on_source_failure = on_source_failure
+        #: Breaker state persists *across* evaluations — an open breaker
+        #: from one daily report still refuses the source in the next.
+        self.breakers = None
+        if breaker_policy is not None:
+            from repro.resilience.breaker import BreakerBoard
+            self.breakers = BreakerBoard(
+                breaker_policy, listener=self._on_breaker_transition)
+
+    def _on_breaker_transition(self, source: str, old: str,
+                               new: str) -> None:
+        logger.warning("circuit breaker for %s: %s -> %s", source, old, new)
+        self.tracer.metrics.add("breaker_transitions", 1)
+        self.tracer.metrics.add(f"breaker_transitions.{source}", 1)
 
     # ------------------------------------------------------------------
     def evaluate(self, root_inh: dict) -> ExecutionReport:
@@ -288,14 +324,22 @@ class Middleware:
                             violation_mode=self.violation_mode,
                             workers=self.workers,
                             emulate_overheads=self.emulate_overheads,
-                            tracer=tracer)
-            result = engine.run(root_inh)
-            with tracer.span("tagging", "tagging") as tagging_span:
-                document = build_document(tagging_plan, result.cache,
-                                          root_inh)
-                if depth is not None:
-                    strip_unfolding(document)
-                tagging_span.set(document_nodes=document.size())
+                            tracer=tracer,
+                            retry_policy=self.retry_policy,
+                            breakers=self.breakers,
+                            on_source_failure=self.on_source_failure,
+                            deadline=self.deadline,
+                            tagging_plan=tagging_plan)
+            try:
+                result = engine.run(root_inh)
+                with tracer.span("tagging", "tagging") as tagging_span:
+                    document = build_document(tagging_plan, result.cache,
+                                              root_inh)
+                    if depth is not None:
+                        strip_unfolding(document)
+                    tagging_span.set(document_nodes=document.size())
+            finally:
+                engine.cleanup()
             tracer.metrics.set_gauge("document_nodes", document.size())
             tracer.metrics.set_gauge("unfold_depth",
                                      0 if depth is None else depth)
@@ -316,7 +360,8 @@ class Middleware:
             optimization_seconds=optimization_seconds,
             violations=list(result.violations),
             parallel_speedup=result.parallel_speedup,
-            workers=result.workers)
+            workers=result.workers,
+            failure_report=result.failure_report)
 
     # ------------------------------------------------------------------
     def _needs_deeper(self, report: ExecutionReport,

@@ -2,8 +2,13 @@
 
 A production data-integration system meets broken schemas, dropped tables,
 closed connections, and malformed inputs; every failure should surface as a
-typed `ReproError` with context — never a silent wrong answer.
+typed `ReproError` with context — never a silent wrong answer.  With the
+resilience layer (docs/RESILIENCE.md) a *transient* failure must also
+recover deterministically: same fault seed + retry policy, same document.
 """
+
+import logging
+import sqlite3
 
 import pytest
 
@@ -17,7 +22,9 @@ from repro.aig import ConceptualEvaluator
 from repro.hospital import build_hospital_aig, make_sources
 from repro.relational import DataSource, Network, SourceSchema
 from repro.relational.schema import relation
+from repro.resilience import FaultInjector, RetryPolicy
 from repro.runtime import Middleware
+from repro.xmlmodel import serialize
 from tests.conftest import load_tiny_hospital
 
 
@@ -131,3 +138,181 @@ class TestPartialStateIsolation:
         report = Middleware(hospital_aig, sources,
                             Network.mbps(1.0)).evaluate({"date": "d2"})
         assert report.document.tag == "report"
+
+
+def _evaluate_with_faults(workers, faults=None, retries=0, scheduling=None):
+    """One full evaluation on a fresh tiny dataset, optional fault spec."""
+    sources = make_sources()
+    load_tiny_hospital(sources)
+    middleware = Middleware(
+        build_hospital_aig(), sources, Network.mbps(1.0),
+        workers=workers,
+        scheduling=scheduling or "static",
+        retry_policy=RetryPolicy(retries=retries, base_delay=0.001)
+        if retries else None)
+    injector = None
+    if faults:
+        injector = FaultInjector.from_spec(faults).install(sources)
+    try:
+        report = middleware.evaluate({"date": "d1"})
+    finally:
+        if injector is not None:
+            injector.uninstall(sources)
+    return report, sources, injector
+
+
+class TestTransientRecovery:
+    """Satellite: transient faults recovered by retry leave no trace.
+
+    With a fixed fault seed and retry policy, the recovered run must
+    produce a byte-identical document and violation list to the fault-free
+    run — under both the sequential engine and the threaded executor.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_retried_run_is_byte_identical(self, workers):
+        baseline, _, _ = _evaluate_with_faults(workers)
+        recovered, _, injector = _evaluate_with_faults(
+            workers, faults="DB1:error@1,DB2:error@2", retries=2)
+        assert injector.fired, "faults never fired — spec indexes are stale"
+        assert serialize(recovered.document) == serialize(baseline.document)
+        assert recovered.violations == baseline.violations
+
+    def test_retries_exhausted_still_fails_loudly(self):
+        with pytest.raises(EvaluationError):
+            _evaluate_with_faults(1, faults="DB1:down@1", retries=2)
+
+
+class TestFailureCleanup:
+    """Satellites: a mid-plan crash must not leak temp tables or leases."""
+
+    @pytest.mark.parametrize("workers,scheduling", [
+        (1, "static"), (4, "static"), (4, "dynamic")])
+    def test_shipped_tables_cleaned_after_midplan_failure(
+            self, workers, scheduling):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        baseline = {name: source.table_names()
+                    for name, source in sources.items()}
+        middleware = Middleware(build_hospital_aig(), sources,
+                                Network.mbps(1.0), workers=workers,
+                                scheduling=scheduling)
+        injector = FaultInjector.from_spec("DB4:down@1").install(sources)
+        try:
+            with pytest.raises(EvaluationError):
+                middleware.evaluate({"date": "d1"})
+        finally:
+            injector.uninstall(sources)
+        for name, source in sources.items():
+            assert source.table_names() == baseline[name], name
+
+    @pytest.mark.parametrize("scheduling", ["static", "dynamic"])
+    def test_leases_released_after_threaded_abort(self, scheduling):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        middleware = Middleware(build_hospital_aig(), sources,
+                                Network.mbps(1.0), workers=4,
+                                scheduling=scheduling)
+        injector = FaultInjector.from_spec("DB4:down@1").install(sources)
+        try:
+            with pytest.raises(EvaluationError):
+                middleware.evaluate({"date": "d1"})
+        finally:
+            injector.uninstall(sources)
+        for name, source in sources.items():
+            assert source.leases_outstanding == 0, name
+        # sources stay usable: the same plan succeeds once the fault clears
+        report = middleware.evaluate({"date": "d1"})
+        assert report.document.tag == "report"
+        for name, source in sources.items():
+            assert source.leases_outstanding == 0, name
+
+
+class _BrokenRollbackConnection:
+    """Proxy that fails the shipment's CREATE and then the ROLLBACK too."""
+
+    def __init__(self, real):
+        self._real = real
+        self.closed = False
+
+    @property
+    def in_transaction(self):
+        return self._real.in_transaction
+
+    def execute(self, sql, *args):
+        if sql.startswith("CREATE TABLE"):
+            raise sqlite3.OperationalError("disk I/O error")
+        if sql == "ROLLBACK":
+            raise sqlite3.OperationalError("unable to rollback")
+        return self._real.execute(sql, *args)
+
+    def executemany(self, *args):
+        return self._real.executemany(*args)
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def repro_log_propagation():
+    """Route ``repro.*`` records to the root logger for caplog.
+
+    The CLI's ``configure_logging`` (exercised by other test modules)
+    attaches its own handler and disables propagation; caplog listens on
+    the root logger, so re-enable propagation for the test's duration.
+    """
+    logger = logging.getLogger("repro")
+    previous = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = previous
+
+
+class TestRollbackFailureSurfaces:
+    """Satellite bugfix: a failed post-shipment rollback is logged, not
+    silently swallowed."""
+
+    def test_create_temp_table_logs_failed_rollback(self, tiny_sources,
+                                                    caplog,
+                                                    repro_log_propagation):
+        source = tiny_sources["DB2"]
+        real = source.acquire_connection()
+        proxy = _BrokenRollbackConnection(real)
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.source"):
+                with pytest.raises(EvaluationError) as excinfo:
+                    source.create_temp_table(["a"], [("x",)], name="__t",
+                                             connection=proxy)
+            assert "disk I/O error" in str(excinfo.value)
+            assert "rollback after failed shipment" in caplog.text
+            assert "DB2" in caplog.text
+        finally:
+            if real.in_transaction:
+                real.execute("ROLLBACK")
+            source.release_connection(real)
+
+    def test_release_rolls_back_dirty_connection(self, tiny_sources):
+        source = tiny_sources["DB1"]
+        conn = source.acquire_connection()
+        conn.execute("BEGIN")
+        assert conn.in_transaction
+        source.release_connection(conn)
+        assert not conn.in_transaction        # rolled back before pooling
+        assert source.pool_size() == 1
+        assert source.leases_outstanding == 0
+
+    def test_release_closes_connection_when_rollback_fails(
+            self, tiny_sources, caplog, repro_log_propagation):
+        source = tiny_sources["DB3"]
+        real = source.acquire_connection()
+        real.execute("BEGIN")
+        proxy = _BrokenRollbackConnection(real)
+        before = source.pool_size()
+        with caplog.at_level(logging.WARNING, logger="repro.source"):
+            source.release_connection(proxy)
+        assert proxy.closed                   # not pooled dirty
+        assert source.pool_size() == before
+        assert "rollback of a returned pooled connection failed" \
+            in caplog.text
+        real.execute("ROLLBACK")
+        real.close()
