@@ -56,10 +56,15 @@ class CircuitBreaker:
             return self._state
 
     def blocked(self) -> bool:
-        """Should the dispatcher refuse to send work to this source?
+        """Should the caller refuse to send work to this source?
 
         Open: blocked.  Half-open: one probe call is admitted; further
-        calls are blocked until the probe reports back.
+        calls are blocked until the probe reports back.  A ``False``
+        answer in the half-open state *leases* the single probe, so the
+        caller commits to executing and reporting the outcome via
+        :meth:`record_success`/:meth:`record_failure` (which release the
+        lease) — callers that may refuse work after asking must use the
+        non-leasing :meth:`would_block` instead.
         """
         with self._lock:
             self._maybe_half_open()
@@ -71,6 +76,25 @@ class CircuitBreaker:
                 return True
             self._probe_leased = True
             return False
+
+    def would_block(self) -> bool:
+        """Read-only peek: would :meth:`blocked` refuse work right now?
+
+        Unlike :meth:`blocked` this never leases the half-open probe, so
+        it is safe to consult without committing to execute.  The
+        executor's lane dispatcher peeks here; the retry loop that
+        actually runs the query then claims the probe with
+        :meth:`blocked`.  (Consulting the leasing call twice for one task
+        would wedge the breaker: the second call sees the probe taken,
+        refuses the task, and nothing ever reports back to release it.)
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return False
+            if self._state == OPEN:
+                return True
+            return self._probe_leased
 
     def record_success(self) -> None:
         with self._lock:

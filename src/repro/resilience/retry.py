@@ -9,11 +9,13 @@ regardless of thread interleaving.
 
 Deadlines are enforced inside :meth:`DataSource.execute
 <repro.relational.source.DataSource.execute>` through SQLite's progress
-handler — a long-running statement is interrupted from within the VM — plus
-a post-statement elapsed check that also catches injected ``slow`` faults
-(a Python-side sleep never reaches the progress handler).  A deadline abort
-raises :class:`QueryDeadlineExceeded`, an ``OperationalError`` subclass, so
-it flows through the same transient-classification path as a flaky backend.
+handler — a long-running statement is interrupted from within the VM — and
+injected ``slow`` faults (Python-side sleeps the handler never sees) are
+clipped at the deadline before sleeping.  A statement that completes keeps
+its result even if total elapsed time lands past the deadline.  A deadline
+abort raises :class:`QueryDeadlineExceeded`, an ``OperationalError``
+subclass, so it flows through the same transient-classification path as a
+flaky backend.
 """
 
 from __future__ import annotations

@@ -185,6 +185,7 @@ class PlanExecutor:
         skipped: set[str] = set()
         failure_report: FailureReport | None = None
         retry_count = 0
+        retry_count_lock = threading.Lock()  # incremented from worker threads
 
         def attempt_node(task: _Task, span):
             """``engine._execute`` under the retry policy and breaker.
@@ -219,7 +220,8 @@ class PlanExecutor:
                         metrics.add("deadline_aborts", 1)
                     if attempt < attempts and is_transient(error):
                         delay = policy.delay(attempt, task.name)
-                        retry_count += 1
+                        with retry_count_lock:
+                            retry_count += 1
                         metrics.add("retry_attempts", 1)
                         metrics.add(f"retry_attempts.{node.source}", 1)
                         span.set(retried=attempt)
@@ -520,8 +522,10 @@ class PlanExecutor:
                 if not picks and not in_flight:
                     raise PlanError(
                         f"execution stuck; pending nodes {sorted(remaining)}")
-                # The dispatcher consults each lane's circuit breaker first:
-                # nodes bound for an open source fail immediately (and, in
+                # The dispatcher peeks at each lane's circuit breaker first
+                # (the non-leasing would_block — attempt_node's blocked()
+                # call is the one that claims the half-open probe): nodes
+                # bound for an open source fail immediately (and, in
                 # degrade mode, skip their subtree) without occupying a
                 # worker or waiting out retries.
                 rejected: list[_Completion] = []
@@ -530,7 +534,7 @@ class PlanExecutor:
                     node = graph.nodes[name]
                     breaker = engine.breaker_for(node.source)
                     task = dispatch(lane, name)
-                    if breaker is not None and breaker.blocked():
+                    if breaker is not None and breaker.would_block():
                         rejected.append(_Completion(
                             lane, name, node,
                             error=SourceUnavailableError(

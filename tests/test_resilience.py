@@ -30,6 +30,7 @@ from repro.resilience import (
     parse_fault_spec,
 )
 from repro.runtime import Middleware
+from repro.xmlmodel import serialize
 
 
 class TestFaultSpec:
@@ -215,6 +216,23 @@ class TestCircuitBreaker:
         clock.now = 22.0
         assert not breaker.blocked()          # cooldown restarts
 
+    def test_would_block_is_a_non_leasing_peek(self):
+        breaker, clock, _ = self.make(threshold=1, cooldown=10.0)
+        assert not breaker.would_block()      # closed: admitted
+        breaker.record_failure()
+        assert breaker.would_block()          # open: refused
+        clock.now = 11.0
+        # peeking any number of times never claims the half-open probe...
+        assert not breaker.would_block()
+        assert not breaker.would_block()
+        assert breaker.state == HALF_OPEN
+        # ...so the executing call can still lease it, and once leased the
+        # peek reports blocked until the probe reports back.
+        assert not breaker.blocked()
+        assert breaker.would_block()
+        breaker.record_success()
+        assert breaker.state == CLOSED and not breaker.would_block()
+
     def test_board_is_per_source(self):
         board = BreakerBoard(BreakerPolicy(1, 10.0), clock=_FakeClock())
         board.breaker_for("DB1").record_failure()
@@ -251,6 +269,55 @@ class TestDeadline:
         result = tiny_sources["DB1"].execute(
             "SELECT COUNT(*) FROM patient", deadline=5.0)
         assert result.rows[0][0] == 2
+
+    def test_completed_statement_past_deadline_keeps_its_rows(
+            self, tiny_sources, monkeypatch):
+        """The deadline cuts in-flight work short; it must not discard the
+        rows of a statement that already completed.  (A query that
+        deterministically finishes slightly late would otherwise fail
+        every retry despite the backend succeeding.)"""
+        import repro.relational.source as source_module
+
+        class LateClock:
+            """Every perf_counter() look costs 0.06 'seconds'."""
+
+            def __init__(self):
+                self.now = 0.0
+
+            def perf_counter(self):
+                self.now += 0.06
+                return self.now
+
+            sleep = staticmethod(time.sleep)
+
+        monkeypatch.setattr(source_module, "time", LateClock())
+        # SELECT on 2 rows never reaches the 2000-opcode progress handler,
+        # so the statement completes; with a 0.05s deadline the clock has
+        # already overrun it by the time the statement returns.
+        result = tiny_sources["DB1"].execute(
+            "SELECT COUNT(*) FROM patient", deadline=0.05)
+        assert result.rows[0][0] == 2
+
+
+class TestPoolLeaseAccounting:
+    def test_failed_open_does_not_leak_the_lease_counter(
+            self, tiny_sources, monkeypatch):
+        source = tiny_sources["DB1"]
+        assert source.pool_size() == 0        # next lease must open fresh
+        baseline = source.leases_outstanding
+
+        def exploding_connect():
+            raise sqlite3.OperationalError("unable to open database file")
+
+        monkeypatch.setattr(source, "_connect", exploding_connect)
+        with pytest.raises(sqlite3.OperationalError):
+            source.acquire_connection()
+        assert source.leases_outstanding == baseline
+        monkeypatch.undo()
+        connection = source.acquire_connection()
+        assert source.leases_outstanding == baseline + 1
+        source.release_connection(connection)
+        assert source.leases_outstanding == baseline
 
 
 class TestDegradation:
@@ -319,3 +386,28 @@ class TestBreakerIntegration:
         # the second run was refused at dispatch, not retried against DB3
         assert any("SourceUnavailableError" in text
                    for text in second.failure_report.failed_nodes.values())
+
+    def test_half_open_probe_executes_and_recovers_the_source(
+            self, hospital_aig, tiny_sources):
+        """Executor-level half-open recovery: once the cooldown elapses the
+        probe query must actually run (not be refused by a second leasing
+        breaker check) and its success must close the breaker — a tripped
+        source is usable again, not wedged half-open forever."""
+        middleware = Middleware(
+            hospital_aig, tiny_sources, Network.mbps(1.0),
+            on_source_failure="degrade",
+            breaker_policy=BreakerPolicy(failure_threshold=1, cooldown=0.2))
+        clean = Middleware(hospital_aig, tiny_sources,
+                           Network.mbps(1.0)).evaluate({"date": "d1"})
+        injector = FaultInjector.from_spec("DB3:down@1").install(tiny_sources)
+        try:
+            degraded = middleware.evaluate({"date": "d1"})
+        finally:
+            injector.uninstall(tiny_sources)
+        assert degraded.failure_report is not None
+        assert middleware.breakers.states()["DB3"] == OPEN
+        time.sleep(0.25)                      # past the cooldown
+        recovered = middleware.evaluate({"date": "d1"})
+        assert recovered.failure_report is None
+        assert middleware.breakers.states()["DB3"] == CLOSED
+        assert serialize(recovered.document) == serialize(clean.document)
