@@ -17,11 +17,15 @@ _DATASETS = {}
 _SOURCES = {}
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
-#: Machine-readable companion to the results/*.txt tables: one JSON object
+#: Machine-readable companions to the results/*.txt tables: one JSON object
 #: per benchmark (wall times, modeled response_time, parallel_speedup, …)
-#: so the perf trajectory is trackable across PRs.
-BENCH_JSON = RESULTS_DIR / "BENCH_engine.json"
+#: so the perf trajectory is trackable across PRs.  They live at the repo
+#: root so CI artifact uploads and cross-PR diffs don't depend on the
+#: benchmark tree's layout.
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+BENCH_INCREMENTAL_JSON = REPO_ROOT / "BENCH_incremental.json"
 
 
 def report(name: str, text: str) -> str:
@@ -32,17 +36,17 @@ def report(name: str, text: str) -> str:
     return text
 
 
-def record_json(name: str, payload: dict) -> None:
-    """Merge one benchmark's metrics into ``BENCH_engine.json``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def record_json(name: str, payload: dict,
+                path: pathlib.Path = BENCH_JSON) -> None:
+    """Merge one benchmark's metrics into a root-level BENCH_*.json."""
     data = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except ValueError:
             data = {}   # corrupt file: start over rather than fail the bench
     data[name] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def dataset_for(scale):

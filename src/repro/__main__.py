@@ -80,15 +80,19 @@ def _demo(args) -> int:
         tracer=tracer,
         retry_policy=retry_policy,
         deadline=args.deadline,
-        on_source_failure="degrade" if args.degrade else "abort")
+        on_source_failure="degrade" if args.degrade else "abort",
+        incremental=args.incremental)
     injector = None
     if args.faults:
         from repro.resilience import FaultInjector
         injector = FaultInjector.from_spec(args.faults, seed=args.fault_seed)
         injector.install(sources)
         print(f"faults: {args.faults} (seed {args.fault_seed})")
+    warm = None
     try:
         report = middleware.evaluate({"date": date})
+        if args.incremental:
+            warm = middleware.evaluate({"date": date})
     finally:
         if injector is not None:
             injector.uninstall(sources)
@@ -103,6 +107,15 @@ def _demo(args) -> int:
     print(f"execution: {report.workers} worker lane(s), "
           f"{report.measured_seconds:.3f}s wall, "
           f"parallel speedup {report.parallel_speedup:.2f}x")
+    if warm is not None:
+        ratio = (report.measured_seconds
+                 / max(warm.measured_seconds, 1e-9))
+        identical = warm.document == report.document
+        print(f"incremental re-run: {warm.queries_executed} queries "
+              f"({warm.reused_nodes} node(s) reused, "
+              f"{warm.subtrees_spliced} subtree(s) spliced), "
+              f"{warm.measured_seconds:.4f}s wall ({ratio:.0f}x faster), "
+              f"identical={identical}")
     if injector is not None:
         fired = ", ".join(str(clause)
                           for _, clause in injector.fired) or "none"
@@ -169,10 +182,19 @@ def _explain(args) -> int:
     from repro.datagen import make_loaded_sources
     from repro.hospital import build_hospital_aig
 
-    sources, _ = make_loaded_sources(args.scale)
+    sources, dataset = make_loaded_sources(args.scale)
     middleware = Middleware(build_hospital_aig(), sources, Network.mbps(1.0),
-                            merging=not args.no_merge)
-    print(middleware.explain(args.depth))
+                            merging=not args.no_merge,
+                            unfold_depth=args.depth,
+                            incremental=args.incremental)
+    depth = args.depth
+    if args.incremental:
+        # Warm the cache so the report can show per-node taint state; the
+        # runtime re-unrolling loop may have settled on a deeper unfolding
+        # than requested — explain the depth that actually evaluated.
+        middleware.evaluate({"date": dataset.busiest_date()})
+        depth = middleware._last_depth
+    print(middleware.explain(depth))
     return 0
 
 
@@ -273,6 +295,10 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--degrade", action="store_true",
                       help="on unrecoverable source failure, skip optional "
                            "subtrees instead of aborting")
+    demo.add_argument("--incremental", action="store_true",
+                      help="enable the cross-evaluation result cache and "
+                           "re-evaluate once warm to show the reuse "
+                           "(see docs/INCREMENTAL.md)")
     demo.add_argument("--xml", action="store_true",
                       help="print the generated document")
     demo.set_defaults(handler=_demo)
@@ -306,6 +332,9 @@ def main(argv: list[str] | None = None) -> int:
                          choices=["tiny", "small", "medium", "large"])
     explain.add_argument("--depth", type=int, default=3)
     explain.add_argument("--no-merge", action="store_true")
+    explain.add_argument("--incremental", action="store_true",
+                         help="evaluate once with the result cache on and "
+                              "show per-node cached/tainted state")
     explain.set_defaults(handler=_explain)
 
     info = commands.add_parser("info", parents=[common],

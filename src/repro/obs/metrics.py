@@ -16,6 +16,13 @@ its own counter family: ``retry_attempts`` (and per-source
 variants), and for degraded runs ``degraded_runs``, ``nodes_skipped``,
 ``subtrees_degraded``, ``guards_unchecked``.
 
+Incremental re-evaluation (``Middleware(incremental=True)``,
+docs/INCREMENTAL.md) adds counters ``incremental_cache_hits`` (nodes
+replayed from the result cache), ``incremental_cache_misses`` (nodes that
+executed with caching enabled), ``tagging_subtrees_spliced`` and
+``tagging_indexes_reused`` (tagging-phase reuse), plus per-run gauges
+``incremental_reused_nodes`` and ``incremental_tainted_nodes``.
+
 :data:`NULL_METRICS` is the no-op twin used by the null tracer so
 instrumented code never needs an ``if tracing`` branch.
 """

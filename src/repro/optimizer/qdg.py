@@ -159,6 +159,29 @@ class QueryDependencyGraph:
         except PlanError:
             return False
 
+    def taint_cone(self, seeds) -> set[str]:
+        """The downstream closure of ``seeds``: the seeds plus every
+        transitive consumer, as resolved node names.
+
+        This is the set of nodes whose output can change when the seeds'
+        outputs change — the part of the plan incremental re-evaluation
+        must re-execute (everything else can reuse cached results; see
+        docs/INCREMENTAL.md).
+        """
+        consumers: dict[str, list[str]] = {name: [] for name in self.nodes}
+        for node in self.nodes.values():
+            for producer in self.producer_names(node):
+                consumers[producer].append(node.name)
+        tainted = {self.resolve(seed) for seed in seeds
+                   if self.resolve(seed) in self.nodes}
+        frontier = list(tainted)
+        while frontier:
+            for consumer in consumers[frontier.pop()]:
+                if consumer not in tainted:
+                    tainted.add(consumer)
+                    frontier.append(consumer)
+        return tainted
+
     def clone(self) -> "QueryDependencyGraph":
         duplicate = QueryDependencyGraph()
         duplicate.nodes = dict(self.nodes)

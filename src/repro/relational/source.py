@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import re
 import sqlite3
 import threading
 import time
@@ -154,6 +155,14 @@ class DataSource:
         #: consulted at the statement and lease boundaries when installed.
         self.fault_injector = None
         self._temp_counter = 0
+        #: Per-relation monotonic version counters (see docs/INCREMENTAL.md):
+        #: bumped on every committed write to a base relation, never by
+        #: temp-table shipments.  The incremental result cache fingerprints
+        #: QDG nodes over these, so a stale counter means stale reuse —
+        #: when in doubt (an unparseable write) every counter is bumped.
+        self._versions: dict[str, int] = {
+            relation_schema.name: 1
+            for relation_schema in schema.relations}
         self._create_base_tables()
 
     def _connect(self) -> sqlite3.Connection:
@@ -246,6 +255,49 @@ class DataSource:
         self.connection.executemany(
             f"INSERT INTO {relation_name} VALUES ({placeholders})", rows)
         self.connection.commit()
+        self.bump_version(relation_name)
+
+    # ------------------------------------------------------------------
+    # table versions (incremental re-evaluation)
+    # ------------------------------------------------------------------
+    def table_version(self, relation_name: str) -> int:
+        """Monotonic version of a base relation (0 for unknown tables)."""
+        return self._versions.get(relation_name, 0)
+
+    def table_versions(self) -> dict[str, int]:
+        """Snapshot of every base relation's version counter."""
+        return dict(self._versions)
+
+    def bump_version(self, relation_name: str | None = None) -> None:
+        """Advance a relation's version (all relations when ``None``).
+
+        Loads call this automatically; callers mutating base data through
+        a raw connection (bypassing :meth:`execute`) must bump explicitly
+        or stale cached results may be reused.
+        """
+        if relation_name is None:
+            for name in self._versions:
+                self._versions[name] += 1
+        elif relation_name in self._versions:
+            self._versions[relation_name] += 1
+
+    def _note_write(self, sql: str) -> None:
+        """Bump versions for a committed write statement.
+
+        Base relations named in the statement are bumped; a write naming
+        no base relation (dynamic SQL we cannot attribute) conservatively
+        bumps everything — over-invalidation is always safe, stale reuse
+        never is.  Temp-table shipments go through
+        :meth:`create_temp_table` and are deliberately exempt.
+        """
+        matched = [name for name in self._versions
+                   if re.search(rf'\b{re.escape(name)}\b', sql,
+                                re.IGNORECASE)]
+        if matched:
+            for name in matched:
+                self.bump_version(name)
+        else:
+            self.bump_version()
 
     # ------------------------------------------------------------------
     # execution
@@ -305,6 +357,9 @@ class DataSource:
         self.last_execution_seconds = elapsed
         self.total_queries += 1
         self.total_seconds += elapsed
+        head = sql.lstrip()[:16].upper()
+        if not head.startswith(("SELECT", "WITH", "PRAGMA", "EXPLAIN")):
+            self._note_write(sql)
         return ResultSet(columns, rows)
 
     def _faulted_sleep(self, delay: float, deadline: float | None,
@@ -328,6 +383,7 @@ class DataSource:
     def execute_script(self, sql: str) -> None:
         self.connection.executescript(sql)
         self.connection.commit()
+        self._note_write(sql)
 
     # ------------------------------------------------------------------
     # shipped inputs

@@ -97,9 +97,28 @@ class StatisticsCatalog:
 
     def __init__(self):
         self._stats: dict[str, dict[str, TableStats]] = {}
+        #: Live version readers per source (see ``DataSource.table_versions``)
+        #: — the costing API's window onto data freshness, consumed by the
+        #: incremental result cache (docs/INCREMENTAL.md).
+        self._version_readers: dict[str, object] = {}
 
     def add_source(self, source: DataSource) -> None:
         self._stats[source.name] = collect_stats(source)
+        self._version_readers[source.name] = source.table_versions
+
+    def table_version(self, source_name: str, relation_name: str) -> int:
+        """Current monotonic version of ``source:relation`` (0 if the
+        source was never registered via :meth:`add_source` — synthetic
+        catalogs carry no freshness information)."""
+        reader = self._version_readers.get(source_name)
+        if reader is None:
+            return 0
+        return reader().get(relation_name, 0)
+
+    def table_versions(self, source_name: str) -> dict[str, int]:
+        """Snapshot of every relation version of one source."""
+        reader = self._version_readers.get(source_name)
+        return {} if reader is None else reader()
 
     def set_stats(self, source_name: str, relation_name: str,
                   stats: TableStats) -> None:

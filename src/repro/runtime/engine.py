@@ -82,6 +82,13 @@ class EngineResult:
     #: :class:`~repro.resilience.report.FailureReport` of a degraded run
     #: (None when every node executed).
     failure_report: object = None
+    #: Incremental re-evaluation (docs/INCREMENTAL.md): nodes replayed
+    #: from the cross-evaluation cache instead of executing.
+    reused_nodes: int = 0
+    #: Fresh :class:`~repro.runtime.incremental.CachedNodeResult` entries
+    #: for the nodes that *did* execute this run — the middleware commits
+    #: them to its cache only after a fully successful run.
+    cache_entries: dict = field(default_factory=dict)
 
 
 class Engine:
@@ -107,7 +114,10 @@ class Engine:
                  breakers=None,
                  on_source_failure: str = "abort",
                  deadline: float | None = None,
-                 tagging_plan=None):
+                 tagging_plan=None,
+                 reuse: dict | None = None,
+                 fingerprints: dict | None = None,
+                 preleased: dict | None = None):
         from repro.optimizer.cost import (PER_INPUT_ROW, PER_OUTPUT_ROW,
                                           QUERY_OVERHEAD)
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -160,6 +170,17 @@ class Engine:
         self.on_source_failure = on_source_failure
         self.deadline = deadline
         self.tagging_plan = tagging_plan
+        #: Incremental re-evaluation (docs/INCREMENTAL.md): ``reuse`` maps
+        #: clean node names to their cached results (replayed instead of
+        #: executed); ``fingerprints`` holds this run's per-node content
+        #: fingerprints so fresh results can be cached for the next run.
+        self.reuse = reuse or {}
+        self.fingerprints = fingerprints
+        #: Connections already leased by the caller (``source name ->
+        #: connection``) — the executor uses them without acquiring or
+        #: releasing; ``evaluate_batch`` leases the mediator's once for a
+        #: whole batch.
+        self.preleased = dict(preleased) if preleased else {}
         self._physical: dict[str, str] = {}
         self._physical_counter = 0
 

@@ -57,6 +57,7 @@ from repro.relational.source import MEDIATOR_NAME, ResultSet, intern_columns
 from repro.resilience.report import DegradedSubtree, FailureReport
 from repro.resilience.retry import QueryDeadlineExceeded, is_transient
 from repro.runtime.engine import ID_COLUMN, EngineResult, NodeTiming
+from repro.runtime.incremental import CachedNodeResult
 
 logger = logging.getLogger("repro.executor")
 
@@ -100,6 +101,7 @@ class _Completion:
     rows_materialized: int = 0
     busy_seconds: float = 0.0    # wall time the lane was occupied
     error: BaseException | None = None
+    from_cache: bool = False     # replayed from the incremental cache
 
 
 class PlanExecutor:
@@ -181,8 +183,13 @@ class PlanExecutor:
         done_queue: queue.SimpleQueue = queue.SimpleQueue()
         stop = threading.Event()
         threads: list[threading.Thread] = []
-        connections: dict[str, object] = {}
+        # Pre-leased connections (``Engine.preleased``) are used but never
+        # acquired or released here — only ``owned`` leases are ours.
+        connections: dict[str, object] = dict(engine.preleased)
+        owned: list[str] = []
         skipped: set[str] = set()
+        reused: set[str] = set()     # replayed from the incremental cache
+        cache_entries: dict[str, CachedNodeResult] = {}
         failure_report: FailureReport | None = None
         retry_count = 0
         retry_count_lock = threading.Lock()  # incremented from worker threads
@@ -291,8 +298,10 @@ class PlanExecutor:
                         continue
                     sequence = lane_sequences[lane]
                     pos = lane_pos[lane]
-                    while pos < len(sequence) and sequence[pos] in skipped:
-                        pos += 1        # degraded nodes never dispatch
+                    while pos < len(sequence) and (
+                            sequence[pos] in skipped
+                            or sequence[pos] in reused):
+                        pos += 1   # degraded/cache-replayed nodes never dispatch
                     lane_pos[lane] = pos
                     if pos < len(sequence) and sequence[pos] in ready:
                         picks.append((lane, sequence[pos]))
@@ -449,47 +458,69 @@ class PlanExecutor:
                     return
                 raise done.error
             node = done.node
-            queries += 1
-            busy_total += done.busy_seconds
             for out_name, result in done.outputs.items():
                 cache[out_name] = result
-            # Simulated clock (Section 5.2): producers' completion events
-            # were processed before this node was dispatched, so their
-            # simulated times are known; per-lane order equals dispatch
-            # order, so ``source_ready`` advances like a serial per-site
-            # query processor.
-            start = source_ready.get(done.lane, 0.0)
-            for input_name in node.inputs:
-                producer_name = graph.resolve(input_name)
-                if producer_name == done.name:
-                    continue
-                producer = graph.nodes[producer_name]
-                slice_bytes = (cache[input_name].width_bytes()
-                               if input_name in cache else 0)
-                transfer = engine.network.trans_cost(
-                    producer.source, node.source, slice_bytes)
-                if producer.source != node.source:
-                    bytes_shipped += slice_bytes
-                start = max(start, completion_time[producer_name] + transfer)
             output_rows = sum(len(r) for r in done.outputs.values())
             output_bytes = sum(r.width_bytes()
                                for r in done.outputs.values())
-            modeled = engine.modeled_overhead(node, done.rows_materialized,
-                                              output_rows)
-            finish = start + done.eval_seconds + modeled
-            completion_time[done.name] = finish
-            source_ready[done.lane] = finish
-            timings[done.name] = NodeTiming(
-                done.name, node.source, done.eval_seconds, finish,
-                output_rows, output_bytes, done.rows_materialized, modeled)
-            metrics.add(f"lane_busy_seconds.{done.lane}", done.busy_seconds)
-            logger.debug("completed %s on %s: %d row(s), %.4fs eval, "
-                         "simulated finish %.3fs", done.name, done.lane,
-                         output_rows, done.eval_seconds, finish)
-            if engine.dynamic_scheduler is not None:
-                engine.dynamic_scheduler.observe(
-                    done.name, output_rows, output_bytes,
-                    done.eval_seconds + modeled)
+            if done.from_cache:
+                # A cache replay costs the clock nothing: the data is
+                # already at the mediator, no query ran and no lane was
+                # occupied.  Tainted consumers still pay the producer->
+                # consumer transfer (the result is re-shipped to them).
+                completion_time[done.name] = 0.0
+                timings[done.name] = NodeTiming(
+                    done.name, node.source, 0.0, 0.0,
+                    output_rows, output_bytes)
+                metrics.add("incremental_cache_hits", 1)
+                logger.debug("replayed %s from the incremental cache "
+                             "(%d row(s))", done.name, output_rows)
+            else:
+                queries += 1
+                busy_total += done.busy_seconds
+                # Simulated clock (Section 5.2): producers' completion
+                # events were processed before this node was dispatched,
+                # so their simulated times are known; per-lane order
+                # equals dispatch order, so ``source_ready`` advances
+                # like a serial per-site query processor.
+                start = source_ready.get(done.lane, 0.0)
+                for input_name in node.inputs:
+                    producer_name = graph.resolve(input_name)
+                    if producer_name == done.name:
+                        continue
+                    producer = graph.nodes[producer_name]
+                    slice_bytes = (cache[input_name].width_bytes()
+                                   if input_name in cache else 0)
+                    transfer = engine.network.trans_cost(
+                        producer.source, node.source, slice_bytes)
+                    if producer.source != node.source:
+                        bytes_shipped += slice_bytes
+                    start = max(start,
+                                completion_time[producer_name] + transfer)
+                modeled = engine.modeled_overhead(
+                    node, done.rows_materialized, output_rows)
+                finish = start + done.eval_seconds + modeled
+                completion_time[done.name] = finish
+                source_ready[done.lane] = finish
+                timings[done.name] = NodeTiming(
+                    done.name, node.source, done.eval_seconds, finish,
+                    output_rows, output_bytes, done.rows_materialized,
+                    modeled)
+                metrics.add(f"lane_busy_seconds.{done.lane}",
+                            done.busy_seconds)
+                logger.debug("completed %s on %s: %d row(s), %.4fs eval, "
+                             "simulated finish %.3fs", done.name, done.lane,
+                             output_rows, done.eval_seconds, finish)
+                if engine.dynamic_scheduler is not None:
+                    engine.dynamic_scheduler.observe(
+                        done.name, output_rows, output_bytes,
+                        done.eval_seconds + modeled)
+                if engine.fingerprints is not None:
+                    fingerprint = engine.fingerprints.get(done.name)
+                    if fingerprint is not None:
+                        cache_entries[done.name] = CachedNodeResult(
+                            fingerprint, dict(done.outputs))
+                        metrics.add("incremental_cache_misses", 1)
             primary = done.outputs.get(done.name)
             if node.kind == "guard" and primary is not None and len(primary):
                 logger.warning("constraint guard %s found a violation of %s",
@@ -505,12 +536,35 @@ class PlanExecutor:
 
         # --- main loop -------------------------------------------------
         try:
+            # Incremental replay (docs/INCREMENTAL.md): clean nodes form a
+            # downward-closed cone of the DAG (a reused node's producers
+            # are reused — fingerprints chain upstream), so all of them
+            # can be processed up front in topological order.  The ready
+            # queue below then only ever dispatches tainted nodes, under
+            # static and dynamic scheduling alike.
+            if engine.reuse:
+                for node in graph.topological_order():
+                    entry = engine.reuse.get(node.name)
+                    if entry is None:
+                        continue
+                    ready.discard(node.name)
+                    reused.add(node.name)
+                    process(_Completion(
+                        lane_of.get(node.name, node.source), node.name,
+                        node, outputs=dict(entry.outputs), from_cache=True))
+                logger.info("incremental replay: %d node(s) reused, "
+                            "%d tainted", len(reused), len(remaining))
+            if not remaining:
+                threaded = False
             if threaded:
                 for source_name in sorted(
-                        {node.source for node in graph.nodes.values()}):
+                        {graph.nodes[name].source for name in remaining}):
+                    if source_name in connections:
+                        continue    # pre-leased by the caller
                     source = engine.sources.get(source_name)
                     if source is not None:
                         connections[source_name] = source.acquire_connection()
+                        owned.append(source_name)
                 threads = [threading.Thread(target=worker_loop,
                                             name=f"repro-exec-{index}",
                                             daemon=True)
@@ -553,8 +607,9 @@ class PlanExecutor:
                     process(perform(accepted[0]))
         finally:
             shut_down()
-            for source_name, connection in connections.items():
-                engine.sources[source_name].release_connection(connection)
+            for source_name in owned:
+                engine.sources[source_name].release_connection(
+                    connections[source_name])
             # Failure-path hygiene: shipped temp tables from completed steps
             # must not outlive the run (a mid-plan abort used to strand
             # ``__ship_N`` tables on every target source).
@@ -564,7 +619,8 @@ class PlanExecutor:
         response = 0.0
         for name, node in graph.nodes.items():
             finish = completion_time[name]
-            if node.ship_to_mediator and node.source != MEDIATOR_NAME:
+            if (node.ship_to_mediator and node.source != MEDIATOR_NAME
+                    and name not in reused):
                 shipment = sum(
                     cache[member].width_bytes()
                     for member in engine._member_names(node)
@@ -597,6 +653,8 @@ class PlanExecutor:
             logger.warning("run degraded: %s", failure_report.summary())
         run_span.set(queries=queries, bytes_shipped=bytes_shipped,
                      response_time=response)
+        if engine.fingerprints is not None:
+            run_span.set(reused_nodes=len(reused))
         logger.info("executed %d node(s) on %d lane(s): %.3fs wall, "
                     "simulated response %.3fs, %d byte(s) shipped",
                     queries, len(lane_order), measured, response,
@@ -609,7 +667,9 @@ class PlanExecutor:
                             violations=violations,
                             parallel_speedup=speedup,
                             workers=self.workers,
-                            failure_report=failure_report)
+                            failure_report=failure_report,
+                            reused_nodes=len(reused),
+                            cache_entries=cache_entries)
 
 
 def _empty_outputs(node) -> dict[str, ResultSet]:

@@ -1,0 +1,240 @@
+"""Incremental re-evaluation: fingerprints, taint, and result reuse.
+
+The paper's motivating workload (Section 7) re-runs one AIG daily against
+sources that change only slightly between runs.  ``Middleware.prepare``
+already amortizes *optimization*; this module amortizes *execution and
+tagging* across evaluations of the same prepared plan:
+
+* every base relation carries a monotonic **version counter**
+  (:meth:`repro.relational.source.DataSource.table_version`), bumped by
+  loads and writes, never by temp-table shipments;
+
+* every QDG node gets a **content fingerprint** — a hash over its rendered
+  SQL, the root-attribute values it reads, the ``(source, relation,
+  version)`` of every base table it scans, and the fingerprints of its
+  producers.  Fingerprints chain upstream, so a node whose fingerprint is
+  unchanged provably has clean producers all the way down: the clean set
+  is a downward-closed cone of the DAG and cached results can be replayed
+  in topological order before any query is dispatched;
+
+* **taint** is the complement: a node is tainted when its fingerprint
+  differs from the cached one, and taint propagates to all transitive
+  consumers (:meth:`~repro.optimizer.qdg.QueryDependencyGraph.taint_cone`).
+  Merged nodes (Algorithm Merge) fingerprint over *all* members, so a
+  group is tainted — and re-runs whole — iff any member is;
+
+* the **tagging memo** keeps the previous document's subtrees and sort
+  indexes, so clean regions of the tree are spliced (deep-copied) instead
+  of re-sorted and re-built.  A subtree is spliceable only when every
+  query node its content depends on — iteration tables, choice-condition
+  tables, and text provenance up to ancestor anchors — is clean and every
+  root attribute it prints is unchanged.
+
+Guards re-run whole whenever any of their inputs is tainted (the *full
+re-check fallback*: an inclusion constraint spanning a tainted and a clean
+region is re-validated over the full collections, never over a delta); a
+clean guard replays its cached — and, in abort mode, necessarily empty —
+result, so report-mode violations are re-reported identically.
+
+Nothing here is committed on failure: the middleware folds freshly
+executed results into the cache only after a fully successful,
+non-degraded run, so a mid-run fault can never poison the cache (stale
+entries stay valid regardless — their fingerprints no longer match
+anything that changed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+from repro.compilation.occurrences import RootValue, TableColumn
+from repro.sqlq.ast import BaseTable
+
+#: Sentinel dependency that is never clean — marks subtrees whose text
+#: provenance cannot be proven stable (no backing table node).
+_NEVER_CLEAN = "__never-clean__"
+
+_ROOT_PLACEHOLDER = re.compile(r"\{root:(\w+)\}")
+
+
+@dataclass
+class CachedNodeResult:
+    """One node's cached execution outcome, keyed by its fingerprint."""
+
+    fingerprint: str
+    outputs: dict                   # output name -> ResultSet
+
+
+@dataclass
+class TaggingMemo:
+    """Tagging-phase state of the last committed run (one per depth).
+
+    ``elements`` maps ``(iteration-occurrence path, row __id)`` to the
+    element built for that row — splicing deep-copies these, so a caller
+    mutating a returned document does not corrupt later runs.  ``tables``
+    and ``condition_tables`` keep the group+sort indexes so clean
+    relations skip re-sorting.
+    """
+
+    root_inh: dict = field(default_factory=dict)
+    elements: dict = field(default_factory=dict)
+    tables: dict = field(default_factory=dict)
+    condition_tables: dict = field(default_factory=dict)
+
+
+@dataclass
+class TaggingReuse:
+    """Reuse directives for one ``build_document`` call."""
+
+    memo: TaggingMemo | None        # previous committed run (None = cold)
+    record: TaggingMemo             # collector for this run's memo
+    splice_paths: set = field(default_factory=set)
+    table_paths: set = field(default_factory=set)
+    condition_paths: set = field(default_factory=set)
+    spliced: int = 0                # subtree instances grafted
+    tables_reused: int = 0          # sort indexes reused
+
+
+@dataclass
+class ResultCache:
+    """The middleware's cross-evaluation cache for one unfold depth."""
+
+    entries: dict = field(default_factory=dict)   # node name -> CachedNodeResult
+    memo: TaggingMemo | None = None
+
+
+@dataclass
+class IncrementalPlan:
+    """What one evaluation may reuse and what it must re-execute."""
+
+    fingerprints: dict              # node name -> fingerprint
+    reusable: dict                  # node name -> CachedNodeResult
+    tainted: set                    # node names that must execute
+
+
+def compute_fingerprints(graph, sources, root_inh: dict) -> dict:
+    """Content fingerprint per QDG node, in topological order.
+
+    The hash covers everything that determines a node's output: its SQL
+    text (AST-rendered or raw), the root-attribute values bound into it,
+    the versions of the base relations it scans, and — transitively, via
+    the producers' fingerprints — the same for everything upstream.
+    """
+    fingerprints: dict = {}
+    for node in graph.topological_order():
+        parts: list = [node.kind, node.source]
+        members = getattr(node, "members", None) or (node,)
+        for member in members:
+            if member.query is not None:
+                parts.append(str(member.query))
+                for item in member.query.from_items:
+                    if isinstance(item, BaseTable):
+                        source = sources.get(item.source)
+                        version = (source.table_version(item.relation)
+                                   if source is not None else -1)
+                        parts.append((item.source, item.relation, version))
+            if member.raw_sql is not None:
+                parts.append(member.raw_sql)
+                for name in sorted(set(
+                        _ROOT_PLACEHOLDER.findall(member.raw_sql))):
+                    parts.append((name, repr(root_inh.get(name))))
+            for param, inh_member in sorted(member.root_params.items()):
+                parts.append((param, repr(root_inh.get(inh_member))))
+        for producer in graph.producer_names(node):
+            parts.append(fingerprints[producer])
+        digest = hashlib.sha256(repr(parts).encode()).hexdigest()
+        fingerprints[node.name] = digest
+    return fingerprints
+
+
+def plan_increment(graph, entries: dict, fingerprints: dict
+                   ) -> IncrementalPlan:
+    """Split the graph into a reusable (clean) set and a tainted cone.
+
+    Directly tainted nodes are those whose fingerprint differs from the
+    cached entry (or that have no entry); the tainted set is their
+    downstream closure over the graph.  Fingerprint chaining makes the
+    closure redundant in theory — a consumer of a changed producer hashes
+    differently by construction — but computing it through
+    :meth:`~repro.optimizer.qdg.QueryDependencyGraph.taint_cone` keeps
+    the invariant explicit and collision-proof: a reused node's producers
+    are always reused too.
+    """
+    direct = set()
+    for name in graph.nodes:
+        entry = entries.get(name)
+        if entry is None or entry.fingerprint != fingerprints[name]:
+            direct.add(name)
+    tainted = graph.taint_cone(direct)
+    reusable = {name: entries[name] for name in graph.nodes
+                if name not in tainted}
+    return IncrementalPlan(fingerprints, reusable, tainted)
+
+
+def index_reuse_paths(graph, tagging_plan, tainted: set
+                      ) -> tuple[set, set]:
+    """Occurrence paths whose tagging sort/condition indexes are reusable
+    (their backing query node is clean)."""
+    tables = {path for path, name in tagging_plan.table_of.items()
+              if graph.resolve(name) not in tainted}
+    conditions = {path for path, name in tagging_plan.condition_of.items()
+                  if graph.resolve(name) not in tainted}
+    return tables, conditions
+
+
+def splice_paths_for(graph, tagging_plan, tainted: set, memo, root_inh: dict
+                     ) -> set:
+    """Iteration-occurrence paths whose subtrees may be spliced whole.
+
+    A path qualifies when *every* query node its subtree's content depends
+    on — its own table, nested iteration tables, choice-condition tables,
+    and the anchor tables its text provenance reads — is clean, and every
+    root attribute printed inside the subtree has the same value as when
+    the memo was recorded.  Anything else falls back to a normal rebuild,
+    which is always correct.
+    """
+    if memo is None:
+        return set()
+    cones: dict = {}
+    _subtree_dependencies(tagging_plan, tagging_plan.tree.root, cones)
+    paths = set()
+    for path in tagging_plan.table_of:
+        nodes, members = cones.get(path, ({_NEVER_CLEAN}, set()))
+        if _NEVER_CLEAN in nodes:
+            continue
+        if any(graph.resolve(name) in tainted for name in nodes):
+            continue
+        if any(memo.root_inh.get(member) != root_inh.get(member)
+               for member in members):
+            continue
+        paths.add(path)
+    return paths
+
+
+def _subtree_dependencies(plan, occurrence, cones: dict):
+    """Bottom-up (query nodes, root members) each subtree's content reads."""
+    nodes: set = set()
+    members: set = set()
+    path = occurrence.path
+    table_node = plan.table_of.get(path)
+    if table_node is not None:
+        nodes.add(table_node)
+    condition_node = plan.condition_of.get(path)
+    if condition_node is not None:
+        nodes.add(condition_node)
+    provenance = plan.text_of.get(path)
+    if isinstance(provenance, RootValue):
+        members.add(provenance.member)
+    elif isinstance(provenance, TableColumn):
+        anchor_table = plan.table_of.get(provenance.occurrence.path)
+        nodes.add(anchor_table if anchor_table is not None
+                  else _NEVER_CLEAN)
+    for child in occurrence.children:
+        child_nodes, child_members = _subtree_dependencies(plan, child,
+                                                           cones)
+        nodes |= child_nodes
+        members |= child_members
+    cones[path] = (nodes, members)
+    return nodes, members

@@ -37,6 +37,15 @@ from repro.optimizer.cost import CostModel, plan_cost
 from repro.optimizer.merge import merge as merge_graph, unmerged_plan
 from repro.optimizer.qdg import build_qdg
 from repro.runtime.engine import Engine, EngineResult
+from repro.runtime.incremental import (
+    ResultCache,
+    TaggingMemo,
+    TaggingReuse,
+    compute_fingerprints,
+    index_reuse_paths,
+    plan_increment,
+    splice_paths_for,
+)
 from repro.runtime.recursion import strip_unfolding, unfold_aig
 from repro.runtime.tagging import build_document
 
@@ -64,6 +73,15 @@ class ExecutionReport:
     #: :class:`~repro.resilience.report.FailureReport` when the run was
     #: degraded (subtrees skipped after a source failure), else ``None``.
     failure_report: object = None
+    #: Incremental re-evaluation (``Middleware(incremental=True)``, see
+    #: docs/INCREMENTAL.md): nodes replayed from the result cache and
+    #: nodes found tainted (0/0 when the feature is off or the cache is
+    #: cold at this depth).
+    reused_nodes: int = 0
+    tainted_nodes: int = 0
+    #: Subtree instances of the previous document spliced by the tagging
+    #: phase instead of rebuilt.
+    subtrees_spliced: int = 0
 
 
 class Middleware:
@@ -84,7 +102,8 @@ class Middleware:
                  retry_policy=None,
                  deadline: float | None = None,
                  on_source_failure: str = "abort",
-                 breaker_policy=None):
+                 breaker_policy=None,
+                 incremental: bool = False):
         #: Observability handle (see :mod:`repro.obs`): a recording
         #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
         #: for every evaluation; the default no-op tracer leaves the hot
@@ -138,6 +157,19 @@ class Middleware:
             from repro.resilience.breaker import BreakerBoard
             self.breakers = BreakerBoard(
                 breaker_policy, listener=self._on_breaker_transition)
+        #: The middleware owns one persistent mediator shared by every
+        #: evaluation: pooled connections and compiled statements stay warm
+        #: across runs, and ``invalidate_plans`` can actually drop stray
+        #: cache tables (each run's own are dropped by ``Engine.cleanup``).
+        self.mediator = Mediator()
+        #: Incremental re-evaluation (docs/INCREMENTAL.md): version-stamped
+        #: result caching with delta-driven QDG invalidation.  One
+        #: :class:`~repro.runtime.incremental.ResultCache` per unfold depth,
+        #: committed only after fully successful runs.
+        self.incremental = incremental
+        self._result_caches: dict = {}
+        #: Connections pre-leased for a whole batch (``evaluate_batch``).
+        self._preleased: dict = {}
 
     def _on_breaker_transition(self, source: str, old: str,
                                new: str) -> None:
@@ -226,10 +258,26 @@ class Middleware:
         return self._prepared[depth]
 
     def invalidate_plans(self) -> None:
-        """Drop cached plans (call after the sources' data changes enough
-        to shift statistics — the plans stay correct either way, only their
-        cost-optimality is affected)."""
+        """Drop cached plans, incremental result caches, and any cached
+        temp tables left on the mediator.
+
+        Call after the sources' data changes enough to shift statistics —
+        the plans stay correct either way, only their cost-optimality is
+        affected.  The mediator sweep matters on a live middleware: a
+        run's own cache tables are dropped by ``Engine.cleanup``, but a
+        crash between runs (or an engine torn down mid-cleanup) can
+        strand ``cache_N`` tables that would otherwise outlive every
+        re-prepare; the mediator has no base relations, so every table
+        found there is disposable.
+        """
         self._prepared = {}
+        self._result_caches = {}
+        for table in self.mediator.table_names():
+            try:
+                self.mediator.drop_table(table)
+            except EvaluationError as error:
+                logger.warning("invalidate_plans: dropping mediator table "
+                               "%r failed: %s", table, error)
 
     def evaluate_batch(self, root_inh_values: list[dict]
                        ) -> list[ExecutionReport]:
@@ -237,9 +285,19 @@ class Middleware:
 
         The paper's scenario is a *daily* report: same AIG, same sources,
         different ``date``.  Optimization (specialize -> QDG -> merge ->
-        schedule) runs once; only execution and tagging repeat.
+        schedule) runs once; only execution and tagging repeat.  The
+        mediator connection is leased once for the whole batch — every
+        entry's engine runs its mediator-side nodes over the same pooled
+        connection instead of re-acquiring per evaluation.
         """
-        return [self.evaluate(dict(values)) for values in root_inh_values]
+        lease = self.mediator.acquire_connection()
+        self._preleased = {MEDIATOR_NAME: lease}
+        try:
+            return [self.evaluate(dict(values))
+                    for values in root_inh_values]
+        finally:
+            self._preleased = {}
+            self.mediator.release_connection(lease)
 
     def explain(self, depth: int | None = None) -> str:
         """A human-readable report of the optimization decisions.
@@ -285,6 +343,26 @@ class Middleware:
         lines.append(f"predicted cost(P): {cost:.3f}s "
                      f"(merging {'on' if self.merging else 'off'}, "
                      f"{self.network})")
+        if self.incremental:
+            lines.append("")
+            lines.append("-- incremental cache state --")
+            store = self._result_caches.get(depth)
+            if (store is None or not store.entries
+                    or not hasattr(self, "_last_root_inh")):
+                lines.append("  (cache cold: no committed evaluation at "
+                             "this depth yet)")
+            else:
+                fingerprints = compute_fingerprints(graph, self.sources,
+                                                    self._last_root_inh)
+                increment = plan_increment(graph, store.entries,
+                                           fingerprints)
+                for node in graph.topological_order():
+                    state = ("cached " if node.name in increment.reusable
+                             else "TAINTED")
+                    lines.append(f"  [{state}] {node.name} @{node.source}")
+                lines.append(f"  {len(increment.reusable)} node(s) "
+                             f"reusable, {len(increment.tainted)} tainted "
+                             f"(vs last evaluation's root attributes)")
         return "\n".join(lines)
 
     def calibration_report(self):
@@ -318,7 +396,23 @@ class Middleware:
             if self.scheduling == "dynamic":
                 from repro.runtime.dynamic import DynamicScheduler
                 scheduler = DynamicScheduler(graph, estimates, self.network)
+            store = None
+            increment = None
+            fingerprints = None
+            if self.incremental:
+                store = self._result_caches.setdefault(depth, ResultCache())
+                with tracer.span("fingerprint", "optimize"):
+                    fingerprints = compute_fingerprints(graph, self.sources,
+                                                        root_inh)
+                    increment = plan_increment(graph, store.entries,
+                                               fingerprints)
+                tracer.metrics.set_gauge("incremental_reused_nodes",
+                                         len(increment.reusable))
+                tracer.metrics.set_gauge("incremental_tainted_nodes",
+                                         len(increment.tainted))
+                self._last_root_inh = dict(root_inh)
             engine = Engine(graph, plan, self.sources, self.network,
+                            mediator=self.mediator,
                             query_overhead=self.query_overhead,
                             dynamic_scheduler=scheduler,
                             violation_mode=self.violation_mode,
@@ -329,15 +423,44 @@ class Middleware:
                             breakers=self.breakers,
                             on_source_failure=self.on_source_failure,
                             deadline=self.deadline,
-                            tagging_plan=tagging_plan)
+                            tagging_plan=tagging_plan,
+                            reuse=increment.reusable if increment else None,
+                            fingerprints=fingerprints,
+                            preleased=self._preleased)
             try:
                 result = engine.run(root_inh)
+                reuse = None
+                if increment is not None:
+                    table_paths, condition_paths = index_reuse_paths(
+                        graph, tagging_plan, increment.tainted)
+                    reuse = TaggingReuse(
+                        memo=store.memo,
+                        record=TaggingMemo(root_inh=dict(root_inh)),
+                        splice_paths=splice_paths_for(
+                            graph, tagging_plan, increment.tainted,
+                            store.memo, root_inh),
+                        table_paths=table_paths,
+                        condition_paths=condition_paths)
                 with tracer.span("tagging", "tagging") as tagging_span:
                     document = build_document(tagging_plan, result.cache,
-                                              root_inh)
+                                              root_inh, reuse=reuse)
                     if depth is not None:
                         strip_unfolding(document)
                     tagging_span.set(document_nodes=document.size())
+                    if reuse is not None:
+                        tagging_span.set(subtrees_spliced=reuse.spliced,
+                                         indexes_reused=reuse.tables_reused)
+                        tracer.metrics.add("tagging_subtrees_spliced",
+                                           reuse.spliced)
+                        tracer.metrics.add("tagging_indexes_reused",
+                                           reuse.tables_reused)
+                # Commit only after a fully successful, non-degraded run:
+                # a mid-run failure (or a skipped subtree) must never
+                # poison the cache — the next evaluation simply finds the
+                # previous (still fingerprint-valid) entries.
+                if (store is not None and result.failure_report is None):
+                    store.entries.update(result.cache_entries)
+                    store.memo = reuse.record if reuse is not None else None
             finally:
                 engine.cleanup()
             tracer.metrics.set_gauge("document_nodes", document.size())
@@ -361,7 +484,12 @@ class Middleware:
             violations=list(result.violations),
             parallel_speedup=result.parallel_speedup,
             workers=result.workers,
-            failure_report=result.failure_report)
+            failure_report=result.failure_report,
+            reused_nodes=result.reused_nodes,
+            tainted_nodes=(len(increment.tainted) if increment is not None
+                           else 0),
+            subtrees_spliced=(reuse.spliced if increment is not None
+                              and reuse is not None else 0))
 
     # ------------------------------------------------------------------
     def _needs_deeper(self, report: ExecutionReport,

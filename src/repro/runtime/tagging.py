@@ -61,29 +61,58 @@ class _Table:
 
 
 def build_document(plan: TaggingPlan, cache: dict[str, ResultSet],
-                   root_inh: dict) -> XMLElement:
-    """Sort-merge the cached relations into the final XML tree."""
-    builder = _TreeBuilder(plan, cache, root_inh)
+                   root_inh: dict, reuse=None) -> XMLElement:
+    """Sort-merge the cached relations into the final XML tree.
+
+    ``reuse`` (a :class:`~repro.runtime.incremental.TaggingReuse`) enables
+    incremental tagging: clean relations keep their previous group+sort
+    index, and subtrees at ``reuse.splice_paths`` are deep-copied from the
+    previous document's memo instead of rebuilt; the run's own subtrees
+    and indexes are recorded into ``reuse.record`` either way.
+    """
+    builder = _TreeBuilder(plan, cache, root_inh, reuse)
     return builder.build()
 
 
 class _TreeBuilder:
     def __init__(self, plan: TaggingPlan, cache: dict[str, ResultSet],
-                 root_inh: dict):
+                 root_inh: dict, reuse=None):
         self.plan = plan
         self.cache = cache
         self.root_inh = root_inh
+        self.reuse = reuse
         self.aig = plan.tree.aig
+        memo = reuse.memo if reuse is not None else None
         self.tables: dict[str, _Table] = {}
         for path, node_name in plan.table_of.items():
             if node_name not in cache:
                 raise EvaluationError(
                     f"tagging input {node_name!r} was not produced")
-            self.tables[path] = _Table(cache[node_name],
-                                       plan.sort_columns.get(path, []))
+            table = None
+            if (reuse is not None and memo is not None
+                    and path in reuse.table_paths):
+                table = memo.tables.get(path)
+            if table is None:
+                table = _Table(cache[node_name],
+                               plan.sort_columns.get(path, []))
+            else:
+                reuse.tables_reused += 1
+            self.tables[path] = table
+            if reuse is not None:
+                reuse.record.tables[path] = table
         self.conditions: dict[str, _Table] = {}
         for path, node_name in plan.condition_of.items():
-            self.conditions[path] = _Table(cache[node_name], [])
+            condition = None
+            if (reuse is not None and memo is not None
+                    and path in reuse.condition_paths):
+                condition = memo.condition_tables.get(path)
+            if condition is None:
+                condition = _Table(cache[node_name], [])
+            else:
+                reuse.tables_reused += 1
+            self.conditions[path] = condition
+            if reuse is not None:
+                reuse.record.condition_tables[path] = condition
         #: current anchor row per iteration-occurrence path
         self.anchor_rows: dict[str, tuple] = {}
 
@@ -125,11 +154,32 @@ class _TreeBuilder:
             parent_row = self.anchor_rows[parent_anchor.path]
             parent_id = self.tables[parent_anchor.path].value(parent_row,
                                                               ID_COLUMN)
+        reuse = self.reuse
+        splice_from = None
+        if reuse is not None:
+            if (reuse.memo is not None
+                    and occurrence.path in reuse.splice_paths):
+                splice_from = reuse.memo.elements
+            id_index = table.columns.index(ID_COLUMN)
         for row in table.rows_for(parent_id):
+            if reuse is not None:
+                key = (occurrence.path, row[id_index])
+                if splice_from is not None and key in splice_from:
+                    # Clean subtree: graft a deep copy of the previous
+                    # document's element instead of re-building it (the
+                    # copy keeps the memo independent of caller-side
+                    # mutation of the returned document).
+                    grafted = splice_from[key].copy()
+                    parent_node.append(grafted)
+                    reuse.record.elements[key] = grafted
+                    reuse.spliced += 1
+                    continue
             child_node = XMLElement(occurrence.element_type)
             parent_node.append(child_node)
             self.anchor_rows[occurrence.path] = row
             self._fill(occurrence, child_node)
+            if reuse is not None:
+                reuse.record.elements[key] = child_node
         self.anchor_rows.pop(occurrence.path, None)
 
     def _emit_choice(self, occurrence: Occurrence,

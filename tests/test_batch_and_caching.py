@@ -65,3 +65,17 @@ class TestBatchEvaluation:
                                              {"date": date}])
         assert reports[0].document == reports[1].document
         assert reports[0] is not reports[1]
+
+    def test_batch_leases_one_mediator_connection(self, world):
+        # Regression: the batch used to lease a fresh mediator connection
+        # per entry; now one lease is acquired up front and shared by
+        # every entry's engine.
+        aig, sources, dataset = world
+        dates = sorted({row[2] for row in dataset.visit_info})[:3]
+        middleware = Middleware(aig, sources, Network.mbps(1.0),
+                                unfold_depth=8, workers=4)
+        mediator = middleware.mediator
+        before = mediator.pool_hits + mediator.pool_misses
+        middleware.evaluate_batch([{"date": d} for d in dates])
+        assert mediator.pool_hits + mediator.pool_misses == before + 1
+        assert mediator.leases_outstanding == 0

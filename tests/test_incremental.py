@@ -1,0 +1,235 @@
+"""Incremental re-evaluation tests (docs/INCREMENTAL.md).
+
+Version-stamped result caching must never change the answer.  A warm
+re-evaluation replays cached node results (zero queries on the sources)
+and splices clean subtrees of the previous document, yet the output stays
+byte-identical to a cold run — across worker counts, scheduling policies,
+violation modes, root-attribute changes, and injected faults.  A failed
+run must never commit partial results into the cache.
+"""
+
+import pytest
+
+from repro.errors import EvaluationAborted, EvaluationError
+from repro.hospital import build_hospital_aig, make_sources
+from repro.datagen import make_loaded_sources
+from repro.relational import Network
+from repro.relational.statistics import StatisticsCatalog
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.runtime import Middleware
+from repro.xmlmodel import serialize
+from tests.conftest import load_tiny_hospital
+
+
+def _middleware(sources, **kwargs):
+    kwargs.setdefault("incremental", True)
+    kwargs.setdefault("unfold_depth", 8)
+    return Middleware(build_hospital_aig(), sources, Network.mbps(1.0),
+                      **kwargs)
+
+
+def _cold_document(sources, date, **kwargs):
+    """Serialize a from-scratch evaluation over the sources as they are."""
+    kwargs.setdefault("incremental", False)
+    report = _middleware(sources, **kwargs).evaluate({"date": date})
+    return serialize(report.document)
+
+
+class TestVersionCounters:
+    def test_load_rows_bumps_the_loaded_relation(self):
+        sources = make_sources()
+        before = sources["DB1"].table_version("patient")
+        sources["DB1"].load_rows("patient", [("s9", "Zoe", "p9")])
+        assert sources["DB1"].table_version("patient") == before + 1
+        assert sources["DB1"].table_version("visitInfo") == 1
+
+    def test_write_bumps_only_the_matched_table(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        billing = sources["DB3"].table_version("billing")
+        sources["DB3"].execute("UPDATE billing SET price='1' WHERE trId='t1'")
+        assert sources["DB3"].table_version("billing") == billing + 1
+
+    def test_select_does_not_bump(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        before = sources["DB3"].table_versions()
+        sources["DB3"].execute("SELECT * FROM billing")
+        assert sources["DB3"].table_versions() == before
+
+    def test_temp_table_shipment_does_not_bump(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        before = sources["DB3"].table_versions()
+        sources["DB3"].create_temp_table(["a"], [(1,), (2,)])
+        assert sources["DB3"].table_versions() == before
+
+    def test_unattributable_write_bumps_everything(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        before = sources["DB1"].table_versions()
+        sources["DB1"].execute_script("CREATE TABLE scratch(x)")
+        after = sources["DB1"].table_versions()
+        assert all(after[name] == before[name] + 1 for name in before)
+
+    def test_statistics_catalog_exposes_versions(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        stats = StatisticsCatalog.from_sources(list(sources.values()))
+        assert stats.table_version("DB1", "patient") == \
+            sources["DB1"].table_version("patient")
+        sources["DB1"].load_rows("patient", [("s9", "Zoe", "p9")])
+        # live read, not a snapshot taken at registration time
+        assert stats.table_version("DB1", "patient") == \
+            sources["DB1"].table_version("patient")
+        assert stats.table_version("nowhere", "patient") == 0
+
+
+class TestWarmReuse:
+    @pytest.mark.parametrize("workers,scheduling", [
+        (1, "static"), (4, "static"), (4, "dynamic")])
+    def test_no_delta_rerun_executes_zero_queries(self, workers, scheduling):
+        sources, dataset = make_loaded_sources("tiny", seed=31)
+        middleware = _middleware(sources, workers=workers,
+                                 scheduling=scheduling)
+        date = dataset.busiest_date()
+        cold = middleware.evaluate({"date": date})
+        warm = middleware.evaluate({"date": date})
+        assert warm.queries_executed == 0
+        assert warm.tainted_nodes == 0
+        assert warm.reused_nodes == cold.node_count
+        assert serialize(warm.document) == serialize(cold.document)
+
+    def test_cold_incremental_run_matches_plain_run(self):
+        sources, dataset = make_loaded_sources("tiny", seed=31)
+        date = dataset.busiest_date()
+        plain = _middleware(sources, incremental=False).evaluate(
+            {"date": date})
+        cached = _middleware(sources).evaluate({"date": date})
+        assert serialize(cached.document) == serialize(plain.document)
+        assert cached.queries_executed == plain.queries_executed
+
+
+class TestDeltaReevaluation:
+    def test_data_delta_reexecutes_only_the_tainted_cone(self):
+        sources, dataset = make_loaded_sources("tiny", seed=32)
+        middleware = _middleware(sources)
+        date = dataset.busiest_date()
+        cold = middleware.evaluate({"date": date})
+        sources["DB3"].execute(
+            "UPDATE billing SET price = price + 1 WHERE rowid % 10 = 0")
+        warm = middleware.evaluate({"date": date})
+        assert 0 < warm.queries_executed < cold.queries_executed
+        assert warm.reused_nodes > 0
+        assert warm.tainted_nodes == cold.node_count - warm.reused_nodes
+        assert serialize(warm.document) == _cold_document(sources, date)
+
+    def test_root_attribute_delta_is_correct(self):
+        sources, dataset = make_loaded_sources("tiny", seed=33)
+        dates = sorted({row[2] for row in dataset.visit_info})[:2]
+        middleware = _middleware(sources)
+        middleware.evaluate({"date": dates[0]})
+        warm = middleware.evaluate({"date": dates[1]})
+        assert warm.tainted_nodes > 0
+        assert serialize(warm.document) == _cold_document(sources, dates[1])
+
+    def test_unmerged_delta_splices_clean_subtrees(self):
+        # Algorithm Merge couples the hospital cones into shared merged
+        # nodes, so the clean-subtree splice shows best with merging off.
+        sources, dataset = make_loaded_sources("tiny", seed=34)
+        middleware = _middleware(sources, merging=False)
+        date = dataset.busiest_date()
+        middleware.evaluate({"date": date})
+        sources["DB3"].execute(
+            "UPDATE billing SET price = price + 1 WHERE rowid % 10 = 0")
+        warm = middleware.evaluate({"date": date})
+        assert warm.subtrees_spliced > 0
+        assert warm.reused_nodes > 0
+        assert serialize(warm.document) == \
+            _cold_document(sources, date, merging=False)
+
+
+class TestViolationModes:
+    def test_report_mode_violations_resurface_on_warm_run(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        sources["DB3"].execute_script("DELETE FROM billing WHERE trId='t4'")
+        middleware = _middleware(sources, violation_mode="report")
+        cold = middleware.evaluate({"date": "d1"})
+        assert cold.violations
+        warm = middleware.evaluate({"date": "d1"})
+        assert warm.queries_executed == 0
+        assert warm.violations == cold.violations
+        assert serialize(warm.document) == serialize(cold.document)
+
+    def test_abort_mode_failure_does_not_poison_the_cache(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        middleware = _middleware(sources)
+        middleware.evaluate({"date": "d1"})
+        # introduce a guard violation: the aborted run must not commit
+        sources["DB3"].execute_script("DELETE FROM billing WHERE trId='t4'")
+        with pytest.raises(EvaluationAborted):
+            middleware.evaluate({"date": "d1"})
+        # a date that avoids the violation still answers correctly
+        report = middleware.evaluate({"date": "d2"})
+        assert serialize(report.document) == _cold_document(sources, "d2")
+
+
+class TestFaultInterplay:
+    def test_transient_fault_during_delta_run_recovers_identically(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        middleware = _middleware(
+            sources, retry_policy=RetryPolicy(retries=2, base_delay=0.001))
+        middleware.evaluate({"date": "d1"})
+        sources["DB3"].execute(
+            "UPDATE billing SET price='999' WHERE trId='t1'")
+        injector = FaultInjector.from_spec("DB3:error@1").install(sources)
+        try:
+            recovered = middleware.evaluate({"date": "d1"})
+        finally:
+            injector.uninstall(sources)
+        assert injector.fired, "fault never fired — spec index is stale"
+        assert serialize(recovered.document) == _cold_document(sources, "d1")
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_hard_failure_leaves_cache_usable(self, workers):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        middleware = _middleware(sources, workers=workers)
+        middleware.evaluate({"date": "d1"})
+        sources["DB3"].execute(
+            "UPDATE billing SET price='999' WHERE trId='t1'")
+        # fault the source that IS in the tainted cone — clean sources are
+        # never contacted on a delta run, so a fault there would not fire
+        injector = FaultInjector.from_spec("DB3:down@1").install(sources)
+        try:
+            with pytest.raises(EvaluationError):
+                middleware.evaluate({"date": "d1"})
+        finally:
+            injector.uninstall(sources)
+        # the failed run committed nothing: the next run re-executes the
+        # tainted cone and produces the correct post-delta document
+        report = middleware.evaluate({"date": "d1"})
+        assert serialize(report.document) == _cold_document(sources, "d1")
+
+
+class TestInvalidation:
+    def test_invalidate_plans_drops_result_caches_and_mediator_tables(self):
+        sources, dataset = make_loaded_sources("tiny", seed=35)
+        middleware = _middleware(sources)
+        date = dataset.busiest_date()
+        cold = middleware.evaluate({"date": date})
+        assert middleware._result_caches
+        # a run's own cache tables are dropped by engine cleanup; strand
+        # one by hand to model a crash between runs
+        middleware.mediator.create_temp_table(["x"], [(1,)], "cache_stranded")
+        assert "cache_stranded" in middleware.mediator.table_names()
+        middleware.invalidate_plans()
+        assert middleware._result_caches == {}
+        assert middleware.mediator.table_names() == []
+        # the next evaluation is cold again — and still correct
+        recold = middleware.evaluate({"date": date})
+        assert recold.queries_executed == cold.queries_executed
+        assert serialize(recold.document) == serialize(cold.document)
