@@ -18,6 +18,11 @@ Commands:
   and bytes, with q-error aggregates (see docs/OBSERVABILITY.md).
 * ``check [--scale S]`` — the full cross-path equivalence check: conceptual
   vs. optimized evaluation, DTD conformance, constraint satisfaction.
+* ``fuzz [--seeds N] [--start N] [--violate-every N] [--seed-file FILE]
+  [--shrink] [--out DIR]`` — differential fuzzing: seeded random AIGs
+  evaluated under the full configuration grid (conceptual vs. middleware
+  × merging × scheduling × workers × incremental × fault-recovery),
+  writing a JSON repro file for any divergence (see docs/TESTING.md).
 * ``explain`` — print the optimizer's plan; ``info`` — component inventory.
 
 Every command accepts ``-v/--verbose`` (repeatable) and ``--quiet``, which
@@ -198,6 +203,84 @@ def _explain(args) -> int:
     return 0
 
 
+def _fuzz(args) -> int:
+    import logging
+    import os
+
+    from repro.fuzz import (FuzzGenerationError, from_json,
+                            generate_scenario, run_oracle, shrink, to_json)
+
+    if not args.verbose:
+        # report-mode guard findings and retry warnings are *expected*
+        # on violation-injected and fault-injected iterations
+        logging.getLogger("repro").setLevel(logging.ERROR)
+
+    def artifact(name: str, spec, report) -> str:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, name)
+        spec.notes["divergences"] = [str(d) for d in report.divergences]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_json(spec))
+            handle.write("\n")
+        return path
+
+    def handle_divergence(spec, report) -> None:
+        print(f"seed {spec.seed}: DIVERGED "
+              f"({len(report.divergences)} finding(s))")
+        for divergence in report.divergences:
+            print(f"    {divergence}")
+        name = f"repro_fuzz_{spec.seed:05d}.json"
+        if args.shrink:
+            configs = tuple({d.config for d in report.divergences})
+            small = shrink(spec, configs=configs)
+            print(f"    shrunk {spec.production_count()} -> "
+                  f"{small.production_count()} production(s), "
+                  f"{sum(len(t.rows) for t in small.tables)} row(s) "
+                  f"({small.notes['shrink']['checks']} probe(s))")
+            spec = small
+            report = run_oracle(spec, configs)
+        path = artifact(name, spec, report)
+        print(f"    repro written to {path}")
+
+    if args.seed_file:
+        with open(args.seed_file, encoding="utf-8") as handle:
+            spec = from_json(handle.read())
+        report = run_oracle(spec)
+        if report.ok:
+            print(f"{args.seed_file}: no divergence "
+                  f"({len(report.results)} configuration(s) agree)")
+            return 0
+        handle_divergence(spec, report)
+        return 1
+
+    diverged = 0
+    configurations = 0
+    for seed in range(args.start, args.start + args.seeds):
+        violate = (args.violate_every > 0
+                   and seed % args.violate_every == args.violate_every - 1)
+        try:
+            spec = generate_scenario(seed, violate=violate)
+        except FuzzGenerationError as error:
+            print(f"seed {seed}: generation failed: {error}")
+            diverged += 1
+            continue
+        report = run_oracle(spec)
+        configurations += len(report.results)
+        if args.verbose:
+            print(f"seed {seed}: {'ok' if report.ok else 'DIVERGED'} "
+                  f"[{spec.production_count()} production(s), "
+                  f"{len(spec.tables)} table(s)"
+                  f"{', violation-injected' if violate else ''}]")
+        if not report.ok:
+            diverged += 1
+            handle_divergence(spec, report)
+    verdict = ("zero divergence" if diverged == 0
+               else f"{diverged} DIVERGENT seed(s)")
+    print(f"fuzz: {args.seeds} seed(s), {configurations} configuration "
+          f"run(s), {verdict}")
+    return 0 if diverged == 0 else 1
+
+
 def _faults_value(text: str) -> str:
     """argparse type for ``--faults``: validate the spec grammar early."""
     from repro.errors import SpecError
@@ -336,6 +419,28 @@ def main(argv: list[str] | None = None) -> int:
                          help="evaluate once with the result cache on and "
                               "show per-node cached/tainted state")
     explain.set_defaults(handler=_explain)
+
+    fuzz = commands.add_parser(
+        "fuzz", parents=[common],
+        help="differential fuzzing: random AIGs through the full "
+             "configuration grid (see docs/TESTING.md)")
+    fuzz.add_argument("--seeds", type=int, default=20, metavar="N",
+                      help="number of seeded scenarios to run (default 20)")
+    fuzz.add_argument("--start", type=int, default=0, metavar="N",
+                      help="first seed (default 0)")
+    fuzz.add_argument("--violate-every", type=int, default=5, metavar="N",
+                      help="make every Nth scenario violation-injected "
+                           "(default 5; 0 = never)")
+    fuzz.add_argument("--seed-file", default=None, metavar="FILE",
+                      help="re-run the oracle on a saved repro file "
+                           "instead of generating scenarios")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimize any diverging scenario before "
+                           "writing its repro file")
+    fuzz.add_argument("--out", default="fuzz-repros", metavar="DIR",
+                      help="directory for repro artifacts "
+                           "(default fuzz-repros/)")
+    fuzz.set_defaults(handler=_fuzz)
 
     info = commands.add_parser("info", parents=[common],
                                help="version and components")

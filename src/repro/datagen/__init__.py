@@ -18,8 +18,18 @@ from repro.datagen.generator import (
 )
 from repro.datagen.loader import load_dataset, make_loaded_sources
 from repro.datagen.csvio import bulk_load_csv, export_csv, import_csv
+from repro.datagen.values import (
+    layered_dag,
+    rows_per_key,
+    stable_rng,
+    value_pool,
+)
 
 __all__ = [
+    "layered_dag",
+    "rows_per_key",
+    "stable_rng",
+    "value_pool",
     "bulk_load_csv",
     "export_csv",
     "import_csv",

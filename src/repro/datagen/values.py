@@ -1,0 +1,70 @@
+"""Seeded primitive-value generators shared by the dataset builders.
+
+The hospital generator (:mod:`repro.datagen.generator`) targets the paper's
+Table 1 cardinalities; the fuzz generator (:mod:`repro.fuzz.generator`)
+needs the same kind of deterministic, cross-process-stable raw material —
+identifier pools, layered DAGs, stable seeding — for *arbitrary* schemas.
+Both draw from here.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def stable_rng(*parts) -> random.Random:
+    """A ``random.Random`` seeded stably across processes.
+
+    ``str.__hash__`` is randomized per process, so seeds derived from
+    strings must go through a stable digest (the hospital generator learned
+    this the hard way — see ``generate()``).
+    """
+    text = ":".join(str(part) for part in parts)
+    return random.Random(zlib.crc32(text.encode("utf-8")))
+
+
+def value_pool(prefix: str, count: int) -> list[str]:
+    """``count`` distinct, sortable identifiers: ``x000, x001, ...``."""
+    width = max(3, len(str(max(count - 1, 0))))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def layered_dag(nodes: list[str], rng: random.Random,
+                layers: int = 3, mean_degree: float = 1.5
+                ) -> list[tuple[str, str]]:
+    """Edges of a layered DAG over ``nodes`` (guaranteed acyclic).
+
+    Nodes are split into ``layers`` consecutive groups; edges only go from
+    one layer to the next, so any recursion driven by the edge relation
+    terminates within ``layers`` steps.  Used for recursive star
+    productions (the hospital ``procedure`` pattern, generalized).
+    """
+    if len(nodes) < 2 or layers < 2:
+        return []
+    layers = min(layers, len(nodes))
+    size = max(1, len(nodes) // layers)
+    groups = [nodes[i * size:(i + 1) * size] for i in range(layers - 1)]
+    groups.append(nodes[(layers - 1) * size:])
+    groups = [group for group in groups if group]
+    edges: set[tuple[str, str]] = set()
+    for above, below in zip(groups, groups[1:]):
+        for node in above:
+            degree = int(mean_degree)
+            if rng.random() < mean_degree - degree:
+                degree += 1
+            degree = min(degree, len(below))
+            for child in rng.sample(below, degree):
+                edges.add((node, child))
+    return sorted(edges)
+
+
+def rows_per_key(keys: list[str], rng: random.Random,
+                 min_rows: int = 0, max_rows: int = 3) -> list[str]:
+    """For each key, repeat it 0..n times — the parent-key column of a
+    star-production backing table (some parents childless, some fanned
+    out)."""
+    column: list[str] = []
+    for key in keys:
+        column.extend([key] * rng.randint(min_rows, max_rows))
+    return column

@@ -1,0 +1,351 @@
+"""Cross-configuration equivalence oracle.
+
+The conceptual one-sweep evaluation (§3.2) is the ground truth: its
+document, serialized canonically, and its post-hoc constraint verdict
+define what *every* optimized configuration must reproduce.  The oracle
+evaluates one scenario under the full grid —
+
+* middleware with merging on/off × static/dynamic scheduling × 1/4
+  workers (all byte-compared against the conceptual document),
+* abort-mode consistency (``violation_mode="abort"`` must raise exactly
+  when the report-mode verdict is non-empty),
+* incremental cold / warm / delta runs (the delta mutates the dataset by
+  duplicating a row, then compares against a *fresh* conceptual baseline
+  over the mutated data),
+* a fault-injected-then-recovered run (an ``error@1`` fault with a
+  retry budget must leave the output untouched),
+
+and records a :class:`Divergence` for every mismatch in serialized XML,
+DTD conformance, or constraint verdicts.  Every configuration gets a
+fresh ``(AIG, sources)`` built from the spec so state cannot leak
+between runs.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationAborted, ReproError
+from repro.fuzz.spec import ScenarioSpec, build_scenario
+
+#: Middleware keyword grids compared byte-for-byte against the baseline.
+GRID = [
+    {"merging": True, "scheduling": "static", "workers": 1},
+    {"merging": True, "scheduling": "static", "workers": 4},
+    {"merging": True, "scheduling": "dynamic", "workers": 1},
+    {"merging": True, "scheduling": "dynamic", "workers": 4},
+    {"merging": False, "scheduling": "static", "workers": 1},
+    {"merging": False, "scheduling": "dynamic", "workers": 4},
+]
+
+
+def _config_name(kwargs: dict) -> str:
+    return ("merged" if kwargs["merging"] else "unmerged") \
+        + f"-{kwargs['scheduling']}-w{kwargs['workers']}"
+
+
+ALL_CONFIGS = tuple([_config_name(kwargs) for kwargs in GRID]
+                    + ["abort-consistency", "incremental", "fault-recovery"])
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between a configuration and the baseline."""
+
+    config: str
+    kind: str       # "xml" | "conformance" | "violations" | "error" | ...
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.config}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class ConfigResult:
+    config: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class OracleReport:
+    seed: int
+    baseline_violations: list[str] = field(default_factory=list)
+    results: list[ConfigResult] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+# ----------------------------------------------------------------------
+def _baseline(spec: ScenarioSpec):
+    """Conceptual evaluation: (serialized xml, sorted violation strings)."""
+    from repro.aig import ConceptualEvaluator
+    from repro.constraints import check_constraints
+    from repro.xmlmodel import conforms_to, serialize
+
+    aig, sources = build_scenario(spec)
+    evaluator = ConceptualEvaluator(aig, list(sources.values()),
+                                    violation_mode="report")
+    document = evaluator.evaluate(dict(spec.root_values))
+    if not conforms_to(document, aig.dtd):
+        raise ReproError("baseline conceptual document violates its DTD")
+    xml = serialize(document, indent=2)
+    verdict = sorted(str(v) for v in
+                     check_constraints(document, aig.constraints))
+    return xml, verdict
+
+
+def _first_difference(expected: str, actual: str, context: int = 40) -> str:
+    if len(expected) != len(actual):
+        note = f"lengths {len(expected)} vs {len(actual)}; "
+    else:
+        note = ""
+    limit = min(len(expected), len(actual))
+    for i in range(limit):
+        if expected[i] != actual[i]:
+            lo = max(0, i - context)
+            return (f"{note}first diff at byte {i}: "
+                    f"...{expected[lo:i + context]!r} vs "
+                    f"...{actual[lo:i + context]!r}")
+    return f"{note}one output is a prefix of the other"
+
+
+def _compare(report: OracleReport, config: str, xml: str,
+             verdict: list[str], base_xml: str,
+             base_verdict: list[str], conformant: bool) -> None:
+    ok = True
+    if xml != base_xml:
+        ok = False
+        report.divergences.append(Divergence(
+            config, "xml", _first_difference(base_xml, xml)))
+    if not conformant:
+        ok = False
+        report.divergences.append(Divergence(
+            config, "conformance", "document does not conform to the DTD"))
+    if verdict != base_verdict:
+        ok = False
+        report.divergences.append(Divergence(
+            config, "violations",
+            f"expected {base_verdict!r}, got {verdict!r}"))
+    report.results.append(ConfigResult(config, ok))
+
+
+def _evaluate_middleware(spec: ScenarioSpec, **kwargs):
+    """One fresh middleware run → (xml, verdict, conformant)."""
+    from repro.constraints import check_constraints
+    from repro.runtime import Middleware
+    from repro.xmlmodel import conforms_to, serialize
+
+    aig, sources = build_scenario(spec)
+    middleware = Middleware(aig, sources, violation_mode="report",
+                            **kwargs)
+    result = middleware.evaluate(dict(spec.root_values))
+    document = result.document
+    xml = serialize(document, indent=2)
+    verdict = sorted(str(v) for v in
+                     check_constraints(document, aig.constraints))
+    return xml, verdict, conforms_to(document, aig.dtd)
+
+
+# ----------------------------------------------------------------------
+# special configurations
+# ----------------------------------------------------------------------
+def _check_abort_consistency(report: OracleReport, spec: ScenarioSpec,
+                             base_verdict: list[str]) -> None:
+    """``violation_mode="abort"`` must raise iff the verdict is non-empty."""
+    from repro.runtime import Middleware
+
+    config = "abort-consistency"
+    aig, sources = build_scenario(spec)
+    middleware = Middleware(aig, sources, violation_mode="abort")
+    try:
+        middleware.evaluate(dict(spec.root_values))
+        aborted = False
+    except EvaluationAborted:
+        aborted = True
+    expected = bool(base_verdict)
+    if aborted != expected:
+        report.divergences.append(Divergence(
+            config, "abort",
+            f"abort mode {'raised' if aborted else 'did not raise'} but "
+            f"report mode found {len(base_verdict)} violation(s)"))
+        report.results.append(ConfigResult(config, False))
+    else:
+        report.results.append(ConfigResult(config, True))
+
+
+def _delta_table(spec: ScenarioSpec):
+    """A table safe to mutate for the incremental delta run.
+
+    Duplicating an existing row is always evaluable (value domains are
+    unchanged), but tables backing choice *condition* queries and tables
+    with declared keys are excluded: the former feed ``rows[0]`` selector
+    lookups, the latter would reject duplicate keys at load time.
+    """
+    condition_tables = set()
+    for rule in spec.rules.values():
+        if rule.get("form") == "choice":
+            text = rule["condition"]["query"]
+            for table in spec.tables:
+                if f":{table.name} " in text:
+                    condition_tables.add((table.source, table.name))
+    for table in spec.tables:
+        if table.key or not table.rows:
+            continue
+        if (table.source, table.name) in condition_tables:
+            continue
+        return table
+    return None
+
+
+def _check_incremental(report: OracleReport, spec: ScenarioSpec,
+                       base_xml: str, base_verdict: list[str]) -> None:
+    """Cold, warm, and delta runs of one incremental middleware."""
+    from repro.constraints import check_constraints
+    from repro.runtime import Middleware
+    from repro.xmlmodel import conforms_to, serialize
+
+    aig, sources = build_scenario(spec)
+    middleware = Middleware(aig, sources, violation_mode="report",
+                            incremental=True)
+
+    def run(tag: str, expected_xml: str, expected_verdict: list[str]):
+        result = middleware.evaluate(dict(spec.root_values))
+        document = result.document
+        _compare(report, f"incremental-{tag}",
+                 serialize(document, indent=2),
+                 sorted(str(v) for v in
+                        check_constraints(document, aig.constraints)),
+                 expected_xml, expected_verdict,
+                 conforms_to(document, aig.dtd))
+        return result
+
+    run("cold", base_xml, base_verdict)
+    warm = run("warm", base_xml, base_verdict)
+    if warm.queries_executed != 0:
+        report.divergences.append(Divergence(
+            "incremental-warm", "reuse",
+            f"warm run executed {warm.queries_executed} query(ies), "
+            f"expected 0"))
+
+    table = _delta_table(spec)
+    if table is None:
+        report.results.append(ConfigResult(
+            "incremental-delta", True, "skipped: no mutable table"))
+        return
+    delta_spec = spec.clone()
+    duplicated = table.rows[0]
+    delta_spec.table(table.source, table.name).rows.append(duplicated)
+    delta_xml, delta_verdict = _baseline(delta_spec)
+    # mutate the live source the incremental middleware is watching
+    sources[table.source].load_rows(table.name, [duplicated])
+    run("delta", delta_xml, delta_verdict)
+
+
+def _check_fault_recovery(report: OracleReport, spec: ScenarioSpec,
+                          base_xml: str, base_verdict: list[str]) -> None:
+    """An injected first-statement error plus retries must be invisible."""
+    from repro.constraints import check_constraints
+    from repro.resilience import FaultInjector, RetryPolicy
+    from repro.runtime import Middleware
+    from repro.xmlmodel import conforms_to, serialize
+
+    config = "fault-recovery"
+    aig, sources = build_scenario(spec)
+    faulted = spec.tables[0].source if spec.tables else None
+    if faulted is None:
+        report.results.append(ConfigResult(config, True, "skipped: no "
+                                           "tables"))
+        return
+    # Construct first: the constructor's statistics scan (COUNT(*) per
+    # relation) is not a retried query path, so the injector must only
+    # see the evaluation itself.
+    middleware = Middleware(
+        aig, sources, violation_mode="report", workers=4,
+        retry_policy=RetryPolicy(retries=2, base_delay=0.0,
+                                 max_delay=0.0, jitter=0.0,
+                                 seed=spec.seed))
+    injector = FaultInjector.from_spec(f"{faulted}:error@1",
+                                       seed=spec.seed)
+    injector.install(sources)
+    # the injected fault *will* fire and be retried — don't let the
+    # executor's expected retry warning spam every fuzz iteration
+    executor_logger = logging.getLogger("repro.executor")
+    previous_level = executor_logger.level
+    executor_logger.setLevel(logging.ERROR)
+    try:
+        result = middleware.evaluate(dict(spec.root_values))
+    finally:
+        executor_logger.setLevel(previous_level)
+        injector.uninstall(sources)
+    document = result.document
+    _compare(report, config, serialize(document, indent=2),
+             sorted(str(v) for v in
+                    check_constraints(document, aig.constraints)),
+             base_xml, base_verdict, conforms_to(document, aig.dtd))
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def run_oracle(spec: ScenarioSpec,
+               configs: tuple[str, ...] | None = None) -> OracleReport:
+    """Evaluate ``spec`` under the configuration grid.
+
+    ``configs`` restricts the run to a subset of :data:`ALL_CONFIGS`
+    (the shrinker uses this to re-check only the configurations that
+    diverged).  Errors raised by a configuration are recorded as
+    divergences of kind ``"error"`` rather than propagated — a crash in
+    one strategy is itself a differential finding.
+    """
+    report = OracleReport(seed=spec.seed)
+    base_xml, base_verdict = _baseline(spec)
+    report.baseline_violations = base_verdict
+
+    wanted = set(configs) if configs is not None else None
+
+    def selected(name: str) -> bool:
+        if wanted is None:
+            return True
+        return any(name == want or name.startswith(want + "-")
+                   or want.startswith(name) for want in wanted)
+
+    for kwargs in GRID:
+        name = _config_name(kwargs)
+        if not selected(name):
+            continue
+        try:
+            xml, verdict, conformant = _evaluate_middleware(spec, **kwargs)
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                name, "error", f"{type(error).__name__}: {error}"))
+            report.results.append(ConfigResult(name, False))
+            continue
+        _compare(report, name, xml, verdict, base_xml, base_verdict,
+                 conformant)
+
+    if selected("abort-consistency"):
+        try:
+            _check_abort_consistency(report, spec, base_verdict)
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                "abort-consistency", "error",
+                f"{type(error).__name__}: {error}"))
+    if selected("incremental"):
+        try:
+            _check_incremental(report, spec, base_xml, base_verdict)
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                "incremental", "error", f"{type(error).__name__}: {error}"))
+    if selected("fault-recovery"):
+        try:
+            _check_fault_recovery(report, spec, base_xml, base_verdict)
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                "fault-recovery", "error",
+                f"{type(error).__name__}: {error}"))
+    return report

@@ -1,0 +1,220 @@
+"""Minimize a diverging scenario to a small repro.
+
+Greedy fixpoint over structural reduction operators, in decreasing
+order of leverage:
+
+1. drop a constraint,
+2. drop a child from a sequence production (followed by a garbage
+   collection pass that removes productions, schemas, rules, tables and
+   constraints no longer reachable from the root),
+3. delta-debug table rows (remove chunks, then single rows).
+
+A candidate is *kept* iff the differential oracle still reports at least
+one divergence for it — candidates that fail to build or evaluate are
+simply rejected (an ill-formed spec is the shrinker's problem, not a
+finding).  Re-checking is restricted to the configurations that diverged
+on the original input, which keeps each probe to a couple of
+evaluations.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ReproError
+from repro.fuzz.spec import ScenarioSpec
+
+_DECL_RE = re.compile(r"<!ELEMENT\s+([^\s>]+)\s+(.*?)>")
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+
+def _parse_productions(dtd_text: str) -> list[tuple[str, str]]:
+    return [(m.group(1), m.group(2).strip())
+            for m in _DECL_RE.finditer(dtd_text)]
+
+
+def _render(productions: list[tuple[str, str]]) -> str:
+    return "\n".join(f"<!ELEMENT {name} {rhs}>"
+                     for name, rhs in productions)
+
+
+def _names_in(rhs: str) -> list[str]:
+    return [name for name in _NAME_RE.findall(rhs)
+            if name not in ("EMPTY", "PCDATA")]
+
+
+# ----------------------------------------------------------------------
+def _query_texts(spec: ScenarioSpec) -> list[str]:
+    texts: list[str] = []
+
+    def walk_func(func: dict) -> None:
+        if "query" in func:
+            texts.append(func["query"])
+
+    for rule in spec.rules.values():
+        if rule.get("form") == "star":
+            walk_func(rule["child_query"])
+        elif rule.get("form") == "seq":
+            for func in rule.get("inh", {}).values():
+                walk_func(func)
+        elif rule.get("form") == "choice":
+            walk_func(rule["condition"])
+            for branch in rule["branches"].values():
+                walk_func(branch.get("inh", {}))
+    return texts
+
+
+def _gc(spec: ScenarioSpec) -> None:
+    """Drop everything unreachable from the root, in place."""
+    productions = _parse_productions(spec.dtd_text)
+    if not productions:
+        return
+    declared = {name for name, _ in productions}
+    root = productions[0][0]
+    reachable = {root}
+    frontier = [root]
+    rhs_of = dict(productions)
+    while frontier:
+        current = frontier.pop()
+        for name in _names_in(rhs_of.get(current, "")):
+            if name not in reachable:
+                reachable.add(name)
+                if name in declared:
+                    frontier.append(name)
+    spec.dtd_text = _render([(name, rhs) for name, rhs in productions
+                             if name in reachable])
+    spec.rules = {name: rule for name, rule in spec.rules.items()
+                  if name in reachable}
+    spec.inh_schemas = {name: schema
+                        for name, schema in spec.inh_schemas.items()
+                        if name in reachable}
+    spec.syn_schemas = {name: schema
+                        for name, schema in spec.syn_schemas.items()
+                        if name in reachable}
+    spec.constraints = [
+        constraint for constraint in spec.constraints
+        if all(name in reachable for name in
+               [constraint["context"], constraint["target"]]
+               + list(constraint.get("fields", []))
+               + ([constraint["source"]] if "source" in constraint else [])
+               + list(constraint.get("source_fields", []))
+               + list(constraint.get("target_fields", [])))]
+    texts = _query_texts(spec)
+    spec.tables = [table for table in spec.tables
+                   if any(f":{table.name} " in text for text in texts)]
+
+
+# ----------------------------------------------------------------------
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink(spec: ScenarioSpec, *, configs: tuple[str, ...] | None = None,
+           max_checks: int = 250, check=None) -> ScenarioSpec:
+    """Return a minimized clone of ``spec`` that still diverges.
+
+    ``check(candidate) -> bool`` overrides the oracle probe (tests use
+    this); by default a candidate survives iff :func:`run_oracle` —
+    restricted to ``configs``, which defaults to the configurations that
+    diverged on the input — still reports a divergence.  ``max_checks``
+    bounds the total number of probes.
+    """
+    from repro.fuzz.oracle import run_oracle
+
+    if check is None:
+        if configs is None:
+            initial = run_oracle(spec)
+            configs = tuple({d.config for d in initial.divergences})
+            if not configs:
+                raise ReproError(
+                    "shrink() called on a scenario with no divergence")
+
+        def check(candidate: ScenarioSpec) -> bool:
+            try:
+                report = run_oracle(candidate, configs)
+            except ReproError:
+                return False
+            return not report.ok
+
+    budget = _Budget(max_checks)
+    original_productions = spec.production_count()
+    current = spec.clone()
+
+    def attempt(candidate: ScenarioSpec) -> bool:
+        nonlocal current
+        if not budget.spend():
+            return False
+        if check(candidate):
+            current = candidate
+            return True
+        return False
+
+    changed = True
+    while changed and budget.used < budget.limit:
+        changed = False
+
+        for index in range(len(current.constraints) - 1, -1, -1):
+            candidate = current.clone()
+            del candidate.constraints[index]
+            if attempt(candidate):
+                changed = True
+
+        # drop sequence children (deepest declarations first, so whole
+        # subtrees fall to the GC as soon as their anchor goes)
+        productions = _parse_productions(current.dtd_text)
+        for name, rhs in reversed(productions):
+            rule = current.rules.get(name)
+            if not rule or rule.get("form") != "seq":
+                continue
+            children = _names_in(rhs)
+            if len(children) <= 1:
+                continue
+            for child in reversed(children):
+                latest = _parse_productions(current.dtd_text)
+                latest_rhs = dict(latest).get(name)
+                if latest_rhs is None:
+                    break
+                remaining = _names_in(latest_rhs)
+                if child not in remaining or len(remaining) <= 1:
+                    continue
+                candidate = current.clone()
+                remaining = [c for c in remaining if c != child]
+                new_rhs = "(" + ", ".join(remaining) + ")"
+                candidate.dtd_text = _render([
+                    (n, new_rhs if n == name else r)
+                    for n, r in _parse_productions(candidate.dtd_text)])
+                candidate.rules[name].get("inh", {}).pop(child, None)
+                _gc(candidate)
+                if attempt(candidate):
+                    changed = True
+
+        # delta-debug rows, chunk sizes halving down to single rows
+        for position in range(len(current.tables)):
+            chunk = max(1, len(current.tables[position].rows) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(current.tables[position].rows):
+                    candidate = current.clone()
+                    rows = candidate.tables[position].rows
+                    del rows[start:start + chunk]
+                    if attempt(candidate):
+                        changed = True
+                    else:
+                        start += chunk
+                chunk //= 2
+
+    current.notes.setdefault("shrink", {})
+    current.notes["shrink"].update({
+        "from_productions": original_productions,
+        "to_productions": current.production_count(),
+        "checks": budget.used,
+    })
+    return current

@@ -165,13 +165,13 @@ class _TreeBuilder:
             if reuse is not None:
                 key = (occurrence.path, row[id_index])
                 if splice_from is not None and key in splice_from:
-                    # Clean subtree: graft a deep copy of the previous
-                    # document's element instead of re-building it (the
-                    # copy keeps the memo independent of caller-side
-                    # mutation of the returned document).
-                    grafted = splice_from[key].copy()
-                    parent_node.append(grafted)
-                    reuse.record.elements[key] = grafted
+                    # Clean subtree: graft a deep copy of the memo's
+                    # element and carry the *private* memo element itself
+                    # forward.  Only copies ever enter the returned
+                    # document, so caller-side mutation of a spliced
+                    # subtree can never reach the cache.
+                    parent_node.append(splice_from[key].copy())
+                    reuse.record.elements[key] = splice_from[key]
                     reuse.spliced += 1
                     continue
             child_node = XMLElement(occurrence.element_type)
@@ -179,7 +179,9 @@ class _TreeBuilder:
             self.anchor_rows[occurrence.path] = row
             self._fill(occurrence, child_node)
             if reuse is not None:
-                reuse.record.elements[key] = child_node
+                # memoize a private copy, not the document-resident node:
+                # the caller owns the returned document and may mutate it
+                reuse.record.elements[key] = child_node.copy()
         self.anchor_rows.pop(occurrence.path, None)
 
     def _emit_choice(self, occurrence: Occurrence,

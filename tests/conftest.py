@@ -1,8 +1,33 @@
-"""Shared fixtures: the hospital AIG and small hand-made datasets."""
+"""Shared fixtures: the hospital AIG and small hand-made datasets.
+
+Also registers the named Hypothesis profiles (``dev``, ``ci``,
+``nightly``) selected via the ``HYPOTHESIS_PROFILE`` environment
+variable — see docs/TESTING.md.  ``ci`` disables deadlines (loaded
+shared runners make per-example timing meaningless) and derandomizes so
+a red CI run is reproducible locally; ``nightly`` burns more examples.
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.hospital import build_hospital_aig, make_sources
+
+settings.register_profile("dev", settings.default)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=1000,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture
