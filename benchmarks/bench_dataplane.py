@@ -1,0 +1,216 @@
+"""Data-plane benchmark: materialized tree vs streaming columnar plane.
+
+A deliberately wide warehouse relation (13 columns, 5 referenced) feeds a
+flat ``catalog -> product*`` document plus a constant boilerplate subtree
+per product.  Per scale we run both planes over identical data:
+
+* **materialized** — ``Middleware().evaluate`` builds the full XML tree,
+  then ``serialize(..., indent=2)`` renders it in one string;
+* **streaming** — ``Middleware(pushdown=True, columnar=True)
+  .evaluate_stream`` pushes the day predicate / trims projections, ships
+  interned column batches, and emits bytes through ``StreamSerializer``
+  without ever holding the tree or the document.
+
+Measured per scale: wall time -> rows/sec, tracemalloc peak (memory runs
+are separate from timing runs: tracing slows allocation several-fold),
+and the ``columns_read / columns_available`` gauge pair.  Hard
+assertions: byte-identical output (sha256), columns ratio < 1.0, the
+``large`` CI smoke (streaming peak < materialized peak) and the headline
+``huge`` bound (materialized peak >= 5x streaming peak).  Results land in
+``BENCH_dataplane.json`` at the repo root.
+"""
+
+import hashlib
+import time
+import tracemalloc
+
+from repro.aig import AIG, Const, assign, inh, query
+from repro.dtd import parse_dtd
+from repro.obs import Tracer
+from repro.relational import Catalog, DataSource, SourceSchema
+from repro.relational.schema import relation
+from repro.runtime import Middleware
+from repro.xmlmodel import serialize
+
+from conftest import BENCH_DATAPLANE_JSON, record_json, report
+
+DAY = "2026-08-07"
+
+SCALES = {"small": 200, "medium": 2_000, "large": 8_000, "huge": 20_000}
+
+#: huge: the materialized plane must peak at >= 5x the streaming plane.
+HUGE_PEAK_RATIO_FLOOR = 5.0
+#: medium: streaming throughput must stay within 10% of materialized.
+MEDIUM_THROUGHPUT_FLOOR = 0.9
+
+DTD_TEXT = """
+    <!ELEMENT catalog (product*)>
+    <!ELEMENT product (sku, title, price, vendor, listing)>
+    <!ELEMENT listing (currency, unit, audited, origin, grade, channel)>
+"""
+
+#: 5 of the 13 columns are referenced (4 projected + the day predicate);
+#: u0..u7 exist only to give pushdown something to skip.
+UNUSED_COLUMNS = tuple(f"u{i}" for i in range(8))
+
+PRODUCTS_QUERY = """
+select i.sku, i.title, i.price, i.vendor
+from WH:items i
+where i.day = $day
+"""
+
+
+def build_scenario(row_count):
+    """A wide single-source catalog AIG plus its loaded source."""
+    schema = SourceSchema("WH", (relation(
+        "items", "sku", "title", "price", "vendor", "day",
+        *UNUSED_COLUMNS, key=("sku",)),))
+    aig = AIG(parse_dtd(DTD_TEXT), Catalog([schema]), root_inh=("day",))
+    aig.inh("product", "sku", "title", "price", "vendor")
+    aig.rule("catalog", inh={"product": query(PRODUCTS_QUERY)})
+    aig.rule("product", inh={
+        "sku": assign(val=inh("sku")),
+        "title": assign(val=inh("title")),
+        "price": assign(val=inh("price")),
+        "vendor": assign(val=inh("vendor")),
+    })
+    aig.rule("listing", inh={
+        "currency": assign(val=Const("USD")),
+        "unit": assign(val=Const("each")),
+        "audited": assign(val=Const("no")),
+        "origin": assign(val=Const("warehouse")),
+        "grade": assign(val=Const("retail")),
+        "channel": assign(val=Const("online")),
+    })
+    source = DataSource(schema)
+    source.load_rows("items", [
+        (f"sku{i:07d}", f"Widget {i} deluxe", str(10 + i % 997),
+         f"vendor{i % 37}", DAY, *(f"filler-{i}-{j}" for j in range(8)))
+        for i in range(row_count)])
+    return aig.validate(), {"WH": source}
+
+
+class _DigestWriter:
+    """Hashes the streamed bytes without retaining them."""
+
+    def __init__(self):
+        self._hash = hashlib.sha256()
+        self.length = 0
+
+    def write(self, chunk):
+        self._hash.update(chunk.encode("utf-8"))
+        self.length += len(chunk)
+
+    def hexdigest(self):
+        return self._hash.hexdigest()
+
+
+def _materialized_pass(aig, sources):
+    middleware = Middleware(aig, sources)
+    result = middleware.evaluate({"day": DAY})
+    return serialize(result.document, indent=2)
+
+
+def _streaming_pass(aig, sources):
+    tracer = Tracer()
+    middleware = Middleware(aig, sources, tracer=tracer,
+                            pushdown=True, columnar=True)
+    writer = _DigestWriter()
+    middleware.evaluate_stream({"day": DAY}, writer.write, indent=2)
+    return writer, tracer
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    value = fn(*args)
+    return value, time.perf_counter() - start
+
+
+def _traced_peak(fn, *args):
+    tracemalloc.start()
+    try:
+        fn(*args)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _run_scale(rows):
+    aig, sources = build_scenario(rows)
+
+    xml, wall_mat = _timed(_materialized_pass, aig, sources)
+    (writer, tracer), wall_stream = _timed(_streaming_pass, aig, sources)
+
+    mat_digest = hashlib.sha256(xml.encode("utf-8")).hexdigest()
+    assert writer.hexdigest() == mat_digest, \
+        "streaming output diverged from serialized tree"
+    assert writer.length == len(xml)
+
+    columns_read = tracer.metrics.gauge("columns_read")
+    columns_available = tracer.metrics.gauge("columns_available")
+    assert columns_available > 0
+    assert columns_read < columns_available, \
+        "pushdown should leave the unused warehouse columns unread"
+
+    peak_mat = _traced_peak(_materialized_pass, aig, sources)
+    peak_stream = _traced_peak(_streaming_pass, aig, sources)
+
+    return {
+        "rows": rows,
+        "document_chars": len(xml),
+        "sha256": mat_digest,
+        "columns_read": columns_read,
+        "columns_available": columns_available,
+        "columns_read_ratio": round(columns_read / columns_available, 4),
+        "materialized": {
+            "wall_seconds": round(wall_mat, 4),
+            "rows_per_sec": round(rows / wall_mat, 1),
+            "peak_tracked_bytes": peak_mat,
+        },
+        "streaming": {
+            "wall_seconds": round(wall_stream, 4),
+            "rows_per_sec": round(rows / wall_stream, 1),
+            "peak_tracked_bytes": peak_stream,
+        },
+        "peak_ratio": round(peak_mat / peak_stream, 2),
+    }
+
+
+def test_dataplane_planes(benchmark):
+    def run_grid():
+        return {scale: _run_scale(rows) for scale, rows in SCALES.items()}
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    lines = ["Data plane: materialized tree vs streaming columnar",
+             f"{'scale':>8s}{'rows':>8s}{'mat s':>9s}{'stream s':>10s}"
+             f"{'mat MiB':>10s}{'stream MiB':>12s}{'peak x':>8s}"
+             f"{'cols':>8s}"]
+    for scale, cell in grid.items():
+        lines.append(
+            f"{scale:>8s}{cell['rows']:>8d}"
+            f"{cell['materialized']['wall_seconds']:>9.3f}"
+            f"{cell['streaming']['wall_seconds']:>10.3f}"
+            f"{cell['materialized']['peak_tracked_bytes'] / 2**20:>10.2f}"
+            f"{cell['streaming']['peak_tracked_bytes'] / 2**20:>12.2f}"
+            f"{cell['peak_ratio']:>8.2f}"
+            f"{cell['columns_read_ratio']:>8.2f}")
+    report("dataplane", "\n".join(lines))
+    record_json("dataplane", grid, path=BENCH_DATAPLANE_JSON)
+
+    # CI smoke: on large the streaming plane must already be cheaper.
+    large = grid["large"]
+    assert (large["streaming"]["peak_tracked_bytes"]
+            < large["materialized"]["peak_tracked_bytes"])
+
+    # Headline claim: on huge, materializing costs >= 5x the peak memory.
+    assert grid["huge"]["peak_ratio"] >= HUGE_PEAK_RATIO_FLOOR, \
+        f"peak ratio {grid['huge']['peak_ratio']} below " \
+        f"{HUGE_PEAK_RATIO_FLOOR}x on huge"
+
+    # Throughput: batching must not tank rows/sec on the medium scale.
+    medium = grid["medium"]
+    floor = MEDIUM_THROUGHPUT_FLOOR * medium["materialized"]["rows_per_sec"]
+    assert medium["streaming"]["rows_per_sec"] >= floor, \
+        "streaming plane slower than 0.9x materialized on medium"

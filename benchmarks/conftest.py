@@ -26,6 +26,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 #: benchmark tree's layout.
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 BENCH_INCREMENTAL_JSON = REPO_ROOT / "BENCH_incremental.json"
+BENCH_DATAPLANE_JSON = REPO_ROOT / "BENCH_dataplane.json"
 
 
 def report(name: str, text: str) -> str:

@@ -19,6 +19,7 @@ from repro.constraints.checker import (
     find_violations,
     Violation,
 )
+from repro.constraints.streaming import StreamingConstraintChecker
 
 __all__ = [
     "Constraint",
@@ -28,5 +29,6 @@ __all__ = [
     "check_constraint",
     "check_constraints",
     "find_violations",
+    "StreamingConstraintChecker",
     "Violation",
 ]

@@ -30,6 +30,9 @@ from repro.errors import EvaluationAborted, ReproError
 from repro.fuzz.spec import ScenarioSpec, build_scenario
 
 #: Middleware keyword grids compared byte-for-byte against the baseline.
+#: The ``pushdown``/``columnar`` axis (docs/DATAPLANE.md) exercises the
+#: projection/predicate pushdown pass and the batched columnar data plane:
+#: both must be invisible in the serialized document and the verdicts.
 GRID = [
     {"merging": True, "scheduling": "static", "workers": 1},
     {"merging": True, "scheduling": "static", "workers": 4},
@@ -37,16 +40,28 @@ GRID = [
     {"merging": True, "scheduling": "dynamic", "workers": 4},
     {"merging": False, "scheduling": "static", "workers": 1},
     {"merging": False, "scheduling": "dynamic", "workers": 4},
+    {"merging": True, "scheduling": "static", "workers": 1,
+     "pushdown": True},
+    {"merging": False, "scheduling": "static", "workers": 1,
+     "pushdown": True},
+    {"merging": True, "scheduling": "dynamic", "workers": 4,
+     "pushdown": True, "columnar": 128},
 ]
 
 
 def _config_name(kwargs: dict) -> str:
-    return ("merged" if kwargs["merging"] else "unmerged") \
+    name = ("merged" if kwargs["merging"] else "unmerged") \
         + f"-{kwargs['scheduling']}-w{kwargs['workers']}"
+    if kwargs.get("pushdown"):
+        name += "-push"
+    if kwargs.get("columnar"):
+        name += "-col"
+    return name
 
 
 ALL_CONFIGS = tuple([_config_name(kwargs) for kwargs in GRID]
-                    + ["abort-consistency", "incremental", "fault-recovery"])
+                    + ["abort-consistency", "incremental", "fault-recovery",
+                       "streaming"])
 
 
 @dataclass
@@ -289,6 +304,29 @@ def _check_fault_recovery(report: OracleReport, spec: ScenarioSpec,
              base_xml, base_verdict, conforms_to(document, aig.dtd))
 
 
+def _check_streaming(report: OracleReport, spec: ScenarioSpec,
+                     base_xml: str, base_verdict: list[str]) -> None:
+    """The streaming data plane (``evaluate_stream`` with pushdown +
+    columnar batches) must write byte-identical XML and the streaming
+    constraint checker must return the same verdicts — without ever
+    materializing the tree."""
+    import io
+    from repro.runtime import Middleware
+
+    config = "streaming"
+    aig, sources = build_scenario(spec)
+    middleware = Middleware(aig, sources, violation_mode="report",
+                            pushdown=True, columnar=256)
+    buffer = io.StringIO()
+    result = middleware.evaluate_stream(dict(spec.root_values), buffer.write,
+                                        indent=2,
+                                        constraints=aig.constraints)
+    verdict = sorted(str(v) for v in result.constraint_violations)
+    # byte equality with the conformant baseline implies conformance
+    _compare(report, config, buffer.getvalue(), verdict, base_xml,
+             base_verdict, conformant=True)
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -348,4 +386,10 @@ def run_oracle(spec: ScenarioSpec,
             report.divergences.append(Divergence(
                 "fault-recovery", "error",
                 f"{type(error).__name__}: {error}"))
+    if selected("streaming"):
+        try:
+            _check_streaming(report, spec, base_xml, base_verdict)
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                "streaming", "error", f"{type(error).__name__}: {error}"))
     return report

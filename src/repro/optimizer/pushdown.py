@@ -1,0 +1,263 @@
+"""Projection and predicate pushdown over the QDG (docs/DATAPLANE.md).
+
+Runs between :func:`~repro.optimizer.qdg.build_qdg` and Algorithm Merge —
+pre-merge the graph has no aliases and every node's ``output_columns`` still
+match its own query, so both rewrites are local:
+
+* **Projection trimming** drops select items of intermediate decomposition
+  steps that no consumer references.  Nodes the tagging phase reads
+  (``table_of``/``condition_of``, i.e. every ``ship_to_mediator`` chain
+  tail) are never trimmed: sibling sort order uses *all* their business
+  columns and the recursion blocked-query probe
+  (``Middleware._needs_deeper``) reads inherited members straight out of
+  their cached rows, so trimming them could change bytes or mask a
+  too-shallow unfolding.
+
+* **Predicate pushdown** copies a sargable predicate (``column op literal``
+  or ``column op $root_param``) from a consumer into its producer when the
+  producer is a plain step with exactly that one consumer and is not read
+  by tagging.  The consumer keeps its copy, so the rewrite is idempotent
+  and NULL comparisons filter identically on both sides.
+
+The pass also measures base-table scan width: ``columns_read`` counts the
+distinct columns each query references per base-table scan,
+``columns_available`` the relation's schema width — the
+``columns_read/columns_available`` ratio drops below 1.0 exactly when the
+document leaves relation columns untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.relational.schema import Catalog
+from repro.sqlq.analyze import scalar_params
+from repro.sqlq.ast import (
+    BaseTable,
+    ColumnRef,
+    Comparison,
+    InSet,
+    Literal,
+    Param,
+    TempTable,
+)
+from repro.optimizer.qdg import QueryDependencyGraph, TaggingPlan
+
+
+@dataclass
+class PushdownReport:
+    """What one pushdown pass did, for metrics/explain output."""
+
+    columns_pruned: int = 0
+    predicates_moved: int = 0
+    columns_read: int = 0
+    columns_available: int = 0
+
+
+def apply_pushdown(graph: QueryDependencyGraph, tagging_plan: TaggingPlan,
+                   catalog: Catalog) -> PushdownReport:
+    """Trim projections, move sargable predicates, measure scan width.
+
+    Mutates ``graph`` in place (nodes are per-``prepare`` instances) and
+    returns a :class:`PushdownReport`.
+    """
+    report = PushdownReport()
+    needed = _needed_columns(graph, tagging_plan)
+    _trim_projections(graph, needed, report)
+    _move_predicates(graph, report)
+    _measure_scan_width(graph, catalog, report)
+    return report
+
+
+#: Sentinel in the needed-columns map: every output column is required.
+_ALL = None
+
+
+def _needed_columns(graph: QueryDependencyGraph,
+                    tagging_plan: TaggingPlan) -> dict[str, set[str] | None]:
+    """Per node, the output columns some consumer or the tagging phase
+    reads — ``_ALL`` (None) when the node must keep its full output."""
+    needed: dict[str, set[str] | None] = {name: set() for name in graph.nodes}
+
+    def need_all(name: str) -> None:
+        needed[graph.resolve(name)] = _ALL
+
+    def mark(name: str, column: str) -> None:
+        columns = needed[graph.resolve(name)]
+        if columns is not None:
+            columns.add(column)
+
+    # Tagging reads table nodes (all columns: canonical sibling sort uses
+    # the full business-column tuple, and the recursion probe reads
+    # inherited members from their rows) and condition nodes (the selector
+    # is positional: output_columns[0]).
+    for node_name in tagging_plan.table_of.values():
+        need_all(node_name)
+    for node_name in tagging_plan.condition_of.values():
+        need_all(node_name)
+
+    for node in graph.nodes.values():
+        if node.raw_sql is not None:
+            # Mediator SQL templates (collect/guard nodes) reference inputs
+            # textually — keep them whole rather than parse the SQL.
+            for producer in graph.producer_names(node):
+                need_all(producer)
+            continue
+        if node.query is None:
+            continue
+        producer_of = {item.alias: item.producer
+                       for item in node.query.from_items
+                       if isinstance(item, TempTable)}
+        # Defensive: inputs not visible as temp tables stay whole.
+        for producer in graph.producer_names(node):
+            if graph.resolve(producer) not in {
+                    graph.resolve(p) for p in producer_of.values()}:
+                need_all(producer)
+
+        def mark_expr(expr) -> None:
+            if not isinstance(expr, ColumnRef):
+                return
+            if not expr.table:
+                for producer in producer_of.values():
+                    need_all(producer)
+                return
+            producer = producer_of.get(expr.table)
+            if producer is not None:
+                mark(producer, expr.column)
+
+        for item in node.query.select:
+            mark_expr(item.expr)
+        for predicate in node.query.where:
+            if isinstance(predicate, Comparison):
+                mark_expr(predicate.left)
+                mark_expr(predicate.right)
+            else:
+                assert isinstance(predicate, InSet)
+                mark_expr(predicate.column)
+    return needed
+
+
+def _trim_projections(graph: QueryDependencyGraph,
+                      needed: dict[str, set[str] | None],
+                      report: PushdownReport) -> None:
+    for node in graph.nodes.values():
+        keep = needed[node.name]
+        if keep is _ALL or node.kind != "step" or node.query is None:
+            continue
+        if node.ship_to_mediator or node.query.distinct:
+            # Shipped slices are read by name downstream of merging;
+            # trimming a DISTINCT projection changes row multiplicity.
+            continue
+        new_select = tuple(item for item in node.query.select
+                           if item.alias in keep)
+        if not new_select or len(new_select) == len(node.query.select):
+            continue
+        report.columns_pruned += len(node.query.select) - len(new_select)
+        node.query = replace(node.query, select=new_select)
+        node.output_columns = tuple(node.query.output_names)
+        node.root_params = {param: member
+                            for param, member in node.root_params.items()
+                            if param in scalar_params(node.query)}
+        for consumer in graph.nodes.values():
+            if consumer.query is None:
+                continue
+            items = tuple(
+                TempTable(item.producer, item.alias, node.output_columns)
+                if isinstance(item, TempTable)
+                and graph.resolve(item.producer) == node.name else item
+                for item in consumer.query.from_items)
+            if items != consumer.query.from_items:
+                consumer.query = replace(consumer.query, from_items=items)
+
+
+def _move_predicates(graph: QueryDependencyGraph,
+                     report: PushdownReport) -> None:
+    for consumer in graph.nodes.values():
+        if consumer.query is None:
+            continue
+        temp_items = [item for item in consumer.query.from_items
+                      if isinstance(item, TempTable)]
+        producer_uses: dict[str, int] = {}
+        for item in temp_items:
+            name = graph.resolve(item.producer)
+            producer_uses[name] = producer_uses.get(name, 0) + 1
+        for predicate in consumer.query.where:
+            if not isinstance(predicate, Comparison):
+                continue
+            for column_side, other_side, flipped in (
+                    (predicate.left, predicate.right, False),
+                    (predicate.right, predicate.left, True)):
+                if not isinstance(column_side, ColumnRef):
+                    continue
+                if isinstance(other_side, Literal):
+                    bound_member = None
+                elif (isinstance(other_side, Param)
+                        and other_side.name in consumer.root_params):
+                    bound_member = consumer.root_params[other_side.name]
+                else:
+                    continue
+                item = next((i for i in temp_items
+                             if i.alias == column_side.table), None)
+                if item is None:
+                    continue
+                name = graph.resolve(item.producer)
+                producer = graph.nodes.get(name)
+                if (producer is None or producer.kind != "step"
+                        or producer.query is None
+                        or producer.ship_to_mediator
+                        or producer_uses[name] != 1):
+                    continue
+                if [c.name for c in graph.consumers(name)] != [consumer.name]:
+                    continue
+                select_item = next(
+                    (s for s in producer.query.select
+                     if s.alias == column_side.column), None)
+                if select_item is None \
+                        or not isinstance(select_item.expr, ColumnRef):
+                    continue
+                if bound_member is not None:
+                    existing = producer.root_params.get(other_side.name)
+                    if ((existing is not None and existing != bound_member)
+                            or (existing is None and other_side.name
+                                in scalar_params(producer.query))):
+                        continue  # name collision with a different binding
+                moved = (Comparison(other_side, predicate.op,
+                                    select_item.expr) if flipped
+                         else Comparison(select_item.expr, predicate.op,
+                                         other_side))
+                if moved in producer.query.where:
+                    continue
+                producer.query = producer.query.with_extra_where(moved)
+                if bound_member is not None:
+                    producer.root_params = dict(producer.root_params)
+                    producer.root_params[other_side.name] = bound_member
+                report.predicates_moved += 1
+                break
+
+
+def _measure_scan_width(graph: QueryDependencyGraph, catalog: Catalog,
+                        report: PushdownReport) -> None:
+    for node in graph.nodes.values():
+        if node.query is None:
+            continue
+        for item in node.query.from_items:
+            if not isinstance(item, BaseTable):
+                continue
+            _, schema = catalog.resolve(f"{item.source}:{item.relation}")
+            width = len(schema.column_names)
+            referenced: set[str] = set()
+
+            def collect(expr) -> None:
+                if isinstance(expr, ColumnRef) and expr.table == item.alias:
+                    referenced.add(expr.column)
+
+            for select_item in node.query.select:
+                collect(select_item.expr)
+            for predicate in node.query.where:
+                if isinstance(predicate, Comparison):
+                    collect(predicate.left)
+                    collect(predicate.right)
+                else:
+                    collect(predicate.column)
+            report.columns_available += width
+            report.columns_read += min(len(referenced), width)

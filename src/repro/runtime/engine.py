@@ -29,11 +29,13 @@ from repro.errors import EvaluationAborted, EvaluationError, PlanError
 from repro.obs.tracer import NULL_TRACER
 from repro.relational.network import Network
 from repro.relational.source import (
+    BatchedResultSet,
     DataSource,
     MEDIATOR_NAME,
     Mediator,
     ResultSet,
     intern_columns,
+    iter_result_rows,
 )
 from repro.sqlq.analyze import temp_inputs
 from repro.sqlq.render import render_sqlite
@@ -327,7 +329,8 @@ class Engine:
         outputs: dict[str, ResultSet] = {}
         for member in members:
             arity = len(member.output_columns)
-            rows = [row[1:arity + 1] + (row[-1],) for row in result.rows
+            rows = [row[1:arity + 1] + (row[-1],)
+                    for row in iter_result_rows(result)
                     if row[0] == member.name]
             slice_result = ResultSet(
                 intern_columns(list(member.output_columns) + [ID_COLUMN]),
@@ -389,7 +392,7 @@ class Engine:
                                           target=source.name,
                                           rows=len(result)):
                         table = source.create_temp_table(
-                            result.columns, result.rows,
+                            result.columns, iter_result_rows(result),
                             connection=connection)
                     if shipped is not None:
                         shipped[key] = table
@@ -435,14 +438,17 @@ class Engine:
                              table, error)
 
 
-def _normalize_condition(result: ResultSet, node_name: str) -> ResultSet:
+def _normalize_condition(result, node_name: str):
     """Coerce a condition node's selector column to int.
 
     The conceptual semantics reads the selector through ``int(...)``; the
     optimized pipeline's gating joins compare it to integer literals, so the
     cached table must hold real integers (SQLite does not coerce TEXT '2' to
-    2 in equality).
+    2 in equality).  Condition tables are tiny (one row per anchor), so a
+    batched result is simply materialized first.
     """
+    if isinstance(result, BatchedResultSet):
+        result = result.materialize()
     if not result.rows:
         return result
     normalized = []
@@ -458,10 +464,12 @@ def _normalize_condition(result: ResultSet, node_name: str) -> ResultSet:
     return ResultSet(intern_columns(result.columns), normalized)
 
 
-def _with_ids(result: ResultSet) -> ResultSet:
+def _with_ids(result):
     """Append the ``__id`` path-encoding column (unique per table)."""
     if ID_COLUMN in result.columns:
         return result
+    if isinstance(result, BatchedResultSet):
+        return result.with_id_column(ID_COLUMN)
     columns = intern_columns(result.columns + [ID_COLUMN])
     rows = [row + (index + 1,) for index, row in enumerate(result.rows)]
     return ResultSet(columns, rows)

@@ -84,6 +84,31 @@ class ExecutionReport:
     subtrees_spliced: int = 0
 
 
+@dataclass
+class StreamReport:
+    """What one streaming evaluation (``evaluate_stream``) did.
+
+    No ``document``: the tree is never materialized — serialized bytes went
+    straight to the caller's writer.  ``constraint_violations`` holds the
+    streaming checker's verdicts when constraints were passed (identical to
+    ``check_constraints`` over the materialized document).
+    """
+
+    response_time: float
+    estimated_cost: float
+    measured_seconds: float
+    queries_executed: int
+    bytes_shipped: int
+    node_count: int
+    merged: bool
+    unfold_depth: int | None
+    elements: int                   # elements streamed
+    characters: int                 # characters written
+    violations: list = field(default_factory=list)
+    constraint_violations: list = field(default_factory=list)
+    failure_report: object = None
+
+
 class Middleware:
     """Evaluates an AIG against a set of data sources."""
 
@@ -103,7 +128,9 @@ class Middleware:
                  deadline: float | None = None,
                  on_source_failure: str = "abort",
                  breaker_policy=None,
-                 incremental: bool = False):
+                 incremental: bool = False,
+                 pushdown: bool = False,
+                 columnar: bool | int = False):
         #: Observability handle (see :mod:`repro.obs`): a recording
         #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
         #: for every evaluation; the default no-op tracer leaves the hot
@@ -162,6 +189,24 @@ class Middleware:
         #: across runs, and ``invalidate_plans`` can actually drop stray
         #: cache tables (each run's own are dropped by ``Engine.cleanup``).
         self.mediator = Mediator()
+        #: Columnar data plane (docs/DATAPLANE.md): when set, every source
+        #: (and the mediator) drains cursors with ``fetchmany`` into
+        #: value-interned :class:`~repro.relational.source.BatchedResultSet`
+        #: batches of this many rows instead of ``fetchall`` tuple lists.
+        self.pushdown = pushdown
+        if columnar is True:
+            from repro.relational.source import DEFAULT_BATCH_ROWS
+            columnar = DEFAULT_BATCH_ROWS
+        if columnar is not False and (not isinstance(columnar, int)
+                                      or columnar < 1):
+            raise EvaluationError(
+                f"columnar must be False, True, or a positive batch size, "
+                f"got {columnar!r}")
+        self.batch_rows = columnar if columnar else None
+        if self.batch_rows:
+            for source in self.sources.values():
+                source.batch_rows = self.batch_rows
+            self.mediator.batch_rows = self.batch_rows
         #: Incremental re-evaluation (docs/INCREMENTAL.md): version-stamped
         #: result caching with delta-driven QDG invalidation.  One
         #: :class:`~repro.runtime.incremental.ResultCache` per unfold depth,
@@ -203,6 +248,121 @@ class Middleware:
                     f"recursion deeper than max_unfold_depth="
                     f"{self.max_unfold_depth}")
 
+    def evaluate_stream(self, root_inh: dict, write, indent: int | None = None,
+                        constraints: list | None = None) -> StreamReport:
+        """Generate the document as a byte stream through ``write``.
+
+        The tagging phase runs as a sort-merge event stream
+        (:func:`~repro.runtime.tagging.stream_document`): serialized XML is
+        emitted incrementally through a
+        :class:`~repro.xmlmodel.serialize.StreamSerializer` and is
+        byte-identical to ``serialize(report.document, indent)`` of a
+        materialized :meth:`evaluate` run.  ``constraints`` (optional) are
+        checked on the partial stream by a
+        :class:`~repro.constraints.StreamingConstraintChecker` with verdicts
+        identical to the tree checker's.
+
+        For recursive AIGs each depth attempt first dry-runs the stream
+        against a null sink — truncation (and the blocked-query test) must
+        surface *before* any byte reaches ``write``, since a stream cannot
+        be retracted the way an unfinished tree can.  Incremental reuse is
+        skipped: splicing memoized subtrees requires a materialized tree.
+        """
+        recursive = bool(recursive_types(self.aig.dtd))
+        depth = self._initial_depth() if recursive else None
+        while True:
+            report = self._stream_at_depth(root_inh, depth, write, indent,
+                                           constraints, recursive)
+            if report is not None:
+                return report
+            logger.warning("recursion deeper than unfolding estimate %s; "
+                           "re-unrolling at depth %s", depth, depth * 2)
+            self.tracer.metrics.add("recursion_reunrollings", 1)
+            depth = depth * 2
+            if depth > self.max_unfold_depth:
+                raise RecursionDepthExceeded(
+                    f"recursion deeper than max_unfold_depth="
+                    f"{self.max_unfold_depth}")
+
+    def _stream_at_depth(self, root_inh: dict, depth: int | None, write,
+                         indent: int | None, constraints: list | None,
+                         recursive: bool) -> StreamReport | None:
+        from repro.errors import RecursionTruncated
+        from repro.dtd.analysis import base_name
+        from repro.constraints import StreamingConstraintChecker
+        from repro.xmlmodel.serialize import StreamSerializer
+        from repro.runtime.tagging import NullEventSink, stream_document
+
+        tracer = self.tracer
+        with tracer.span("evaluate-stream", "pipeline", depth=depth):
+            graph, plan, tagging_plan, estimated_cost, estimates = \
+                self.prepare(depth)
+            scheduler = None
+            if self.scheduling == "dynamic":
+                from repro.runtime.dynamic import DynamicScheduler
+                scheduler = DynamicScheduler(graph, estimates, self.network)
+            engine = Engine(graph, plan, self.sources, self.network,
+                            mediator=self.mediator,
+                            query_overhead=self.query_overhead,
+                            dynamic_scheduler=scheduler,
+                            violation_mode=self.violation_mode,
+                            workers=self.workers,
+                            emulate_overheads=self.emulate_overheads,
+                            tracer=tracer,
+                            retry_policy=self.retry_policy,
+                            breakers=self.breakers,
+                            on_source_failure=self.on_source_failure,
+                            deadline=self.deadline,
+                            tagging_plan=tagging_plan,
+                            preleased=self._preleased)
+            try:
+                result = engine.run(root_inh)
+                self._last_result = result
+                self._last_tagging = tagging_plan
+                self._last_depth = depth
+                rename = base_name if depth is not None else None
+                if recursive:
+                    try:
+                        stream_document(tagging_plan, result.cache, root_inh,
+                                        NullEventSink(), rename=rename)
+                    except RecursionTruncated:
+                        return None
+                    if self._needs_deeper(None, depth):
+                        return None
+                serializer = StreamSerializer(write, indent=indent)
+                sinks: list = [serializer]
+                checker = None
+                if constraints:
+                    checker = StreamingConstraintChecker(constraints)
+                    sinks.append(checker)
+                with tracer.span("tagging", "streaming-tagging") as span:
+                    elements = stream_document(tagging_plan, result.cache,
+                                               root_inh, *sinks,
+                                               rename=rename)
+                    span.set(elements=elements,
+                             characters=serializer.characters)
+            finally:
+                engine.cleanup()
+            tracer.metrics.set_gauge("streamed_elements", elements)
+            tracer.metrics.set_gauge("unfold_depth",
+                                     0 if depth is None else depth)
+            tracer.metrics.add("evaluations", 1)
+        return StreamReport(
+            response_time=result.response_time,
+            estimated_cost=estimated_cost,
+            measured_seconds=result.measured_seconds,
+            queries_executed=result.queries_executed,
+            bytes_shipped=result.bytes_shipped,
+            node_count=len(graph),
+            merged=self.merging,
+            unfold_depth=depth,
+            elements=elements,
+            characters=serializer.characters,
+            violations=list(result.violations),
+            constraint_violations=(checker.result() if checker is not None
+                                   else []),
+            failure_report=result.failure_report)
+
     def _initial_depth(self) -> int:
         """The user estimate, or a data-driven one for ``"auto"``.
 
@@ -238,6 +398,22 @@ class Middleware:
             spec = specialize(working, self.stats, tracer=tracer)
             with tracer.span("build-qdg", "qdg"):
                 graph, tagging_plan = build_qdg(spec, self.stats)
+            if self.pushdown:
+                from repro.optimizer.pushdown import apply_pushdown
+                with tracer.span("pushdown", "optimize") as pushdown_span:
+                    pushed = apply_pushdown(graph, tagging_plan,
+                                            working.catalog)
+                    pushdown_span.set(
+                        columns_pruned=pushed.columns_pruned,
+                        predicates_moved=pushed.predicates_moved)
+                tracer.metrics.set_gauge("columns_read",
+                                         pushed.columns_read)
+                tracer.metrics.set_gauge("columns_available",
+                                         pushed.columns_available)
+                tracer.metrics.add("pushdown_columns_pruned",
+                                   pushed.columns_pruned)
+                tracer.metrics.add("pushdown_predicates_moved",
+                                   pushed.predicates_moved)
             model = CostModel(self.stats, overhead=self.query_overhead)
             with tracer.span("merge+schedule", "optimize",
                              merging=self.merging) as optimize_span:

@@ -37,16 +37,21 @@ PARENT_COLUMN = "__parent"
 
 
 class _Table:
-    """A cached relation indexed for tagging: rows grouped by parent id."""
+    """A cached relation indexed for tagging: rows grouped by parent id.
 
-    def __init__(self, result: ResultSet, sort_columns: list[str]):
+    ``result`` may be a plain :class:`ResultSet` or a columnar
+    :class:`~repro.relational.source.BatchedResultSet`; grouping iterates
+    rows either way.
+    """
+
+    def __init__(self, result, sort_columns: list[str]):
         self.columns = result.columns
         self.by_parent: dict[object, list[tuple]] = {}
         parent_index = (result.columns.index(PARENT_COLUMN)
                         if PARENT_COLUMN in result.columns else None)
         sort_indexes = [result.columns.index(c) for c in sort_columns
                         if c in result.columns]
-        for row in result.rows:
+        for row in result:
             key = row[parent_index] if parent_index is not None else None
             self.by_parent.setdefault(key, []).append(row)
         for rows in self.by_parent.values():
@@ -228,6 +233,186 @@ class _TreeBuilder:
         self._fill(chosen, child_node)
 
     # ------------------------------------------------------------------
+    def _text_value(self, occurrence: Occurrence):
+        provenance = self.plan.text_of[occurrence.path]
+        if isinstance(provenance, ConstValue):
+            return provenance.value
+        if isinstance(provenance, RootValue):
+            return self.root_inh.get(provenance.member)
+        assert isinstance(provenance, TableColumn)
+        row = self.anchor_rows.get(provenance.occurrence.path)
+        if row is None:
+            raise EvaluationError(
+                f"no current row for {provenance.occurrence.path} while "
+                f"tagging {occurrence.path}")
+        return self.tables[provenance.occurrence.path].value(
+            row, provenance.column)
+
+
+# ----------------------------------------------------------------------
+# streaming tagging (docs/DATAPLANE.md)
+# ----------------------------------------------------------------------
+class NullEventSink:
+    """Sink that discards events (used for truncation dry-runs)."""
+
+    def start(self, tag: str) -> None:
+        pass
+
+    def text(self, value: str) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+
+def stream_document(plan: TaggingPlan, cache: dict, root_inh: dict,
+                    *sinks, rename=None) -> int:
+    """Emit the document as ``start``/``text``/``end`` events, in the exact
+    order :func:`build_document` would materialize it.
+
+    ``sinks`` are objects with ``start(tag)`` / ``text(value)`` / ``end()``
+    methods — typically a :class:`repro.xmlmodel.serialize.StreamSerializer`
+    plus a :class:`repro.constraints.StreamingConstraintChecker`.
+    ``rename`` (usually :func:`repro.dtd.analysis.base_name`) is applied to
+    every emitted tag, replacing the post-hoc
+    :func:`~repro.runtime.recursion.strip_unfolding` pass — the whole
+    point of streaming is that no tree exists to rename afterwards.
+
+    Raises exactly the errors the materializing path raises (including
+    :class:`~repro.errors.RecursionTruncated` from a choice selecting a
+    truncated alternative), so callers can dry-run with a
+    :class:`NullEventSink` before committing bytes to a real writer.
+    Returns the number of elements emitted.
+    """
+    builder = _StreamBuilder(plan, cache, root_inh, sinks, rename)
+    builder.build()
+    return builder.elements
+
+
+class _StreamBuilder:
+    """Mirrors :class:`_TreeBuilder`'s traversal, emitting events instead
+    of nodes; no XML tree, serialized string, or memo is ever built."""
+
+    def __init__(self, plan: TaggingPlan, cache: dict, root_inh: dict,
+                 sinks, rename=None):
+        self.plan = plan
+        self.cache = cache
+        self.root_inh = root_inh
+        self.sinks = sinks
+        self.rename = rename or (lambda tag: tag)
+        self.aig = plan.tree.aig
+        self.elements = 0
+        self.tables: dict[str, _Table] = {}
+        for path, node_name in plan.table_of.items():
+            if node_name not in cache:
+                raise EvaluationError(
+                    f"tagging input {node_name!r} was not produced")
+            self.tables[path] = _Table(cache[node_name],
+                                       plan.sort_columns.get(path, []))
+        self.conditions: dict[str, _Table] = {}
+        for path, node_name in plan.condition_of.items():
+            self.conditions[path] = _Table(cache[node_name], [])
+        self.anchor_rows: dict[str, tuple] = {}
+
+    # -- event emission -------------------------------------------------
+    def _start(self, tag: str) -> None:
+        self.elements += 1
+        renamed = self.rename(tag)
+        for sink in self.sinks:
+            sink.start(renamed)
+
+    def _text(self, value: str) -> None:
+        for sink in self.sinks:
+            sink.text(value)
+
+    def _end(self) -> None:
+        for sink in self.sinks:
+            sink.end()
+
+    # -- traversal (kept in lockstep with _TreeBuilder) -----------------
+    def build(self) -> None:
+        root_occurrence = self.plan.tree.root
+        self._start(root_occurrence.element_type)
+        self._fill(root_occurrence)
+        self._end()
+
+    def _fill(self, occurrence: Occurrence) -> None:
+        model = self.aig.dtd.production(occurrence.element_type)
+        if isinstance(model, PCDATA):
+            value = self._text_value(occurrence)
+            self._text("" if value is None else str(value))
+        elif isinstance(model, Empty):
+            return
+        elif isinstance(model, Star):
+            self._emit_iteration(occurrence.children[0])
+        elif isinstance(model, Choice):
+            self._emit_choice(occurrence)
+        else:
+            assert isinstance(model, Sequence)
+            for child in occurrence.children:
+                self._start(child.element_type)
+                self._fill(child)
+                self._end()
+
+    def _emit_iteration(self, occurrence: Occurrence) -> None:
+        table = self.tables[occurrence.path]
+        parent_anchor = occurrence.parent_anchor()
+        if parent_anchor.parent is None and parent_anchor.path not in \
+                self.anchor_rows:
+            parent_id = None
+        else:
+            parent_row = self.anchor_rows[parent_anchor.path]
+            parent_id = self.tables[parent_anchor.path].value(parent_row,
+                                                              ID_COLUMN)
+        for row in table.rows_for(parent_id):
+            self._start(occurrence.element_type)
+            self.anchor_rows[occurrence.path] = row
+            self._fill(occurrence)
+            self._end()
+        self.anchor_rows.pop(occurrence.path, None)
+
+    def _emit_choice(self, occurrence: Occurrence) -> None:
+        condition = self.conditions[occurrence.path]
+        anchor = occurrence.anchor
+        if anchor.parent is None:
+            rows = condition.rows_for(None)
+            if not rows:
+                rows = [row for group in condition.by_parent.values()
+                        for row in group]
+        else:
+            anchor_row = self.anchor_rows[anchor.path]
+            anchor_id = self.tables[anchor.path].value(anchor_row, ID_COLUMN)
+            rows = condition.rows_for(anchor_id)
+        if not rows:
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"no value for an instance at {occurrence.path}")
+        selector = rows[0][0]
+        try:
+            index = int(selector)
+        except (TypeError, ValueError):
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"non-integer {selector!r}") from None
+        rule = self.aig.rule_for(occurrence.element_type)
+        targets = rule.selector_targets(
+            [child.element_type for child in occurrence.children])
+        if not 1 <= index <= len(targets):
+            raise EvaluationError(
+                f"condition query of {occurrence.element_type!r} returned "
+                f"{index}, outside [1, {len(targets)}]")
+        chosen_name = targets[index - 1]
+        if chosen_name is None:
+            from repro.errors import RecursionTruncated
+            raise RecursionTruncated(
+                f"condition query of {occurrence.element_type!r} selected "
+                f"an alternative truncated by recursion unfolding; increase "
+                f"the unfold depth")
+        chosen = occurrence.child(chosen_name)
+        self._start(chosen.element_type)
+        self._fill(chosen)
+        self._end()
+
     def _text_value(self, occurrence: Occurrence):
         provenance = self.plan.text_of[occurrence.path]
         if isinstance(provenance, ConstValue):

@@ -9,7 +9,7 @@ DTD it was derived from).
 """
 
 from repro.xmlmodel.node import XMLElement, XMLText, XMLNode, element, text
-from repro.xmlmodel.serialize import serialize, parse_xml
+from repro.xmlmodel.serialize import serialize, parse_xml, StreamSerializer
 from repro.xmlmodel.validate import validate_tree, conforms_to
 from repro.xmlmodel.diff import tree_diff, assert_trees_equal, Difference
 
@@ -21,6 +21,7 @@ __all__ = [
     "text",
     "serialize",
     "parse_xml",
+    "StreamSerializer",
     "validate_tree",
     "conforms_to",
     "tree_diff",

@@ -64,6 +64,75 @@ def _write(node: XMLNode, parts: list[str], indent: int | None, level: int) -> N
         parts.append(f"{pad}</{node.tag}>{newline}")
 
 
+class StreamSerializer:
+    """Incremental writer producing byte-identical output to
+    :func:`serialize` without ever holding the tree or the document string.
+
+    Drive it with ``start(tag)`` / ``text(value)`` / ``end()`` events (the
+    protocol emitted by :func:`repro.runtime.tagging.stream_document`).
+    Formatting decisions that :func:`serialize` makes by inspecting a
+    node's children (self-closing empty elements, one-line text-only
+    elements under pretty-printing) are deferred here by buffering only
+    the *current deepest* element's text until its first child or its end
+    event — O(depth) state, not O(document).
+    """
+
+    def __init__(self, write, indent: int | None = None):
+        self._out = write
+        self.indent = indent
+        #: frames of [tag, opened, buffered_text_values]
+        self._stack: list[list] = []
+        self.characters = 0
+
+    def _emit(self, chunk: str) -> None:
+        self.characters += len(chunk)
+        self._out(chunk)
+
+    def _pad(self, level: int) -> str:
+        return "" if self.indent is None else " " * (self.indent * level)
+
+    @property
+    def _nl(self) -> str:
+        return "" if self.indent is None else "\n"
+
+    def _open_top(self) -> None:
+        """Commit the top frame to multiline form (it has element children)."""
+        frame = self._stack[-1]
+        if frame[1]:
+            return
+        level = len(self._stack) - 1
+        self._emit(f"{self._pad(level)}<{frame[0]}>{self._nl}")
+        frame[1] = True
+        for value in frame[2]:
+            self._emit(self._pad(level + 1) + escape_text(value) + self._nl)
+        frame[2] = []
+
+    def start(self, tag: str) -> None:
+        if self._stack:
+            self._open_top()
+        self._stack.append([tag, False, []])
+
+    def text(self, value: str) -> None:
+        frame = self._stack[-1]
+        if frame[1]:
+            self._emit(self._pad(len(self._stack)) + escape_text(value)
+                       + self._nl)
+        else:
+            frame[2].append(value)
+
+    def end(self) -> None:
+        tag, opened, texts = self._stack.pop()
+        level = len(self._stack)
+        if opened:
+            self._emit(f"{self._pad(level)}</{tag}>{self._nl}")
+        elif texts:
+            content = "".join(escape_text(v) for v in texts)
+            self._emit(f"{self._pad(level)}<{tag}>{content}</{tag}>"
+                       f"{self._nl}")
+        else:
+            self._emit(f"{self._pad(level)}<{tag}/>{self._nl}")
+
+
 def parse_xml(source: str) -> XMLElement:
     """Parse a document produced by :func:`serialize` back into a tree.
 

@@ -1,0 +1,587 @@
+"""The streaming columnar data plane (docs/DATAPLANE.md).
+
+Covers the four layers the plane cuts through:
+
+* ``BatchedResultSet``/``ColumnBatch`` and the bounded column-name intern
+  cache in :mod:`repro.relational.source`;
+* projection/predicate pushdown: on/off byte-identity plus the
+  ``columns_read``/``columns_available`` gauge pair;
+* ``StreamSerializer``: property-tested byte equivalence with
+  :func:`serialize` on arbitrary trees, and full-pipeline equivalence of
+  ``evaluate_stream`` with ``serialize(evaluate().document)`` on star,
+  recursion-through-sequence (hospital) and recursion-through-choice (fs)
+  scenarios;
+* ``StreamingConstraintChecker``: verdicts identical to the tree checker,
+  both replayed over crafted trees and through the full pipeline;
+* a tracemalloc bound: streaming tagging allocates less than the document
+  it emits.
+"""
+
+import io
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, assign, inh, query
+from repro.constraints import (
+    InclusionConstraint,
+    Key,
+    StreamingConstraintChecker,
+    check_constraints,
+)
+from repro.dtd import parse_dtd
+from repro.hospital import build_hospital_aig, make_sources
+from repro.obs import Tracer
+from repro.relational import Catalog, DataSource, SourceSchema
+from repro.relational.schema import relation
+from repro.relational.source import (
+    INTERN_CACHE_LIMIT,
+    BatchedResultSet,
+    intern_cache_size,
+    intern_columns,
+)
+from repro.runtime import Middleware
+from repro.runtime.tagging import NullEventSink, stream_document
+from repro.xmlmodel import StreamSerializer, XMLElement, XMLText, serialize
+from tests.conftest import load_tiny_hospital
+from tests.test_recursive_choice import TREE_ROWS, build_fs_aig, load
+
+
+# ---------------------------------------------------------------------------
+# batched result sets and the intern cache
+# ---------------------------------------------------------------------------
+
+class TestBatchedResultSet:
+    def make(self, n=10, batch_rows=4):
+        rows = [(f"k{i}", "shared", i) for i in range(n)]
+        return rows, BatchedResultSet.from_rows(
+            ["key", "label", "n"], rows, batch_rows=batch_rows)
+
+    def test_round_trip_and_batching(self):
+        rows, result = self.make()
+        assert len(result) == 10
+        assert list(result) == rows
+        assert list(result.iter_rows()) == rows
+        assert result.rows == rows
+        # 10 rows at batch_rows=4 -> 4+4+2
+        assert [len(b) for b in result.batches] == [4, 4, 2]
+
+    def test_interning_across_batches(self):
+        _, result = self.make()
+        labels = result.column("label")
+        assert len({id(v) for v in labels}) == 1
+
+    def test_column_api_matches_result_set(self):
+        rows, result = self.make()
+        materialized = result.materialize()
+        assert result.column_index("n") == 2
+        assert result.column("n") == materialized.column("n")
+        assert result.as_dicts() == materialized.as_dicts()
+        assert result.project(["n", "key"]).rows == \
+            materialized.project(["n", "key"]).rows
+        assert result.width_bytes() == materialized.width_bytes()
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            result.column_index("missing")
+        with pytest.raises(EvaluationError):
+            materialized.column_index("missing")
+
+    def test_with_id_column(self):
+        rows, result = self.make()
+        with_ids = result.with_id_column("__id")
+        assert with_ids.columns[-1] == "__id"
+        assert [row[-1] for row in with_ids] == list(range(1, 11))
+        assert [row[:-1] for row in with_ids] == rows
+
+    def test_from_cursor_drains_in_batches(self):
+        source = DataSource(SourceSchema(
+            "S", (relation("t", "a", "b"),)))
+        source.load_rows("t", [(str(i), "x") for i in range(7)])
+        source.batch_rows = 3
+        result = source.execute("SELECT a, b FROM t ORDER BY a")
+        assert isinstance(result, BatchedResultSet)
+        assert [len(b) for b in result.batches] == [3, 3, 1]
+        assert result.column("a") == [str(i) for i in range(7)]
+
+    def test_intern_cache_is_bounded(self):
+        for i in range(INTERN_CACHE_LIMIT + 50):
+            intern_columns([f"col_{i}", "b"])
+        assert intern_cache_size() <= INTERN_CACHE_LIMIT
+
+    def test_intern_cache_reuses_shapes(self):
+        first = intern_columns(["alpha", "beta"])
+        second = intern_columns(["alpha", "beta"])
+        assert [id(a) for a in first] == [id(b) for b in second]
+
+
+# ---------------------------------------------------------------------------
+# StreamSerializer == serialize() on arbitrary trees
+# ---------------------------------------------------------------------------
+
+def replay(node, *sinks):
+    """Feed a materialized tree through event sinks in document order."""
+    if isinstance(node, XMLText):
+        for sink in sinks:
+            sink.text(node.value)
+        return
+    for sink in sinks:
+        sink.start(node.tag)
+    for child in node.children:
+        replay(child, *sinks)
+    for sink in sinks:
+        sink.end()
+
+
+def stream_bytes(tree, indent):
+    buffer = io.StringIO()
+    serializer = StreamSerializer(buffer.write, indent=indent)
+    replay(tree, serializer)
+    return buffer.getvalue()
+
+
+_tags = st.sampled_from(["a", "b", "c", "node"])
+_texts = st.text(
+    alphabet=st.sampled_from(list("xy&<>\"' \n")), max_size=6)
+
+
+def _make_element(children):
+    return st.builds(
+        lambda tag, kids: XMLElement(tag, kids),
+        _tags, st.lists(children, max_size=4))
+
+
+_trees = st.recursive(
+    st.one_of(st.builds(XMLElement, _tags),
+              st.builds(XMLText, _texts)),
+    lambda inner: _make_element(
+        st.one_of(inner, st.builds(XMLText, _texts))),
+    max_leaves=20)
+
+
+class TestStreamSerializer:
+    @settings(max_examples=200, deadline=None)
+    @given(tree=st.builds(lambda t: XMLElement("root", [t]), _trees),
+           indent=st.sampled_from([None, 1, 2, 4]))
+    def test_equivalent_to_serialize(self, tree, indent):
+        assert stream_bytes(tree, indent) == serialize(tree, indent=indent)
+
+    def test_edge_shapes(self):
+        shapes = [
+            XMLElement("e"),                                  # empty
+            XMLElement("t", [XMLText("")]),                   # empty text
+            XMLElement("t", [XMLText("a"), XMLText("&b")]),   # split text
+            XMLElement("m", [XMLText("pre"), XMLElement("e"),
+                             XMLText("post")]),               # mixed
+            XMLElement("n", [XMLElement("n", [XMLElement("n")])]),
+        ]
+        for tree in shapes:
+            for indent in (None, 2):
+                assert stream_bytes(tree, indent) == \
+                    serialize(tree, indent=indent), tree
+
+    def test_character_count(self):
+        tree = XMLElement("r", [XMLElement("a", [XMLText("hi")])])
+        buffer = io.StringIO()
+        serializer = StreamSerializer(buffer.write, indent=2)
+        replay(tree, serializer)
+        assert serializer.characters == len(buffer.getvalue())
+
+
+# ---------------------------------------------------------------------------
+# full-pipeline streaming == materialized tree, bytes and verdicts
+# ---------------------------------------------------------------------------
+
+def _assert_stream_matches(aig, sources, root_inh, constraints=None,
+                           **kwargs):
+    materialized = Middleware(aig, dict(sources), **kwargs)
+    result = materialized.evaluate(dict(root_inh))
+    streaming = Middleware(aig, dict(sources), pushdown=True,
+                           columnar=3, **kwargs)
+    for indent in (None, 2):
+        expected = serialize(result.document, indent=indent)
+        buffer = io.StringIO()
+        stream = streaming.evaluate_stream(
+            dict(root_inh), buffer.write, indent=indent,
+            constraints=constraints)
+        assert buffer.getvalue() == expected
+        assert stream.elements == sum(1 for _ in result.document.iter())
+        if constraints:
+            tree_verdict = [str(v) for v in
+                            check_constraints(result.document, constraints)]
+            stream_verdict = [str(v) for v in stream.constraint_violations]
+            assert stream_verdict == tree_verdict
+    return result, stream
+
+
+class TestStreamingPipeline:
+    def test_hospital_star_and_recursion(self, hospital_aig):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        _assert_stream_matches(hospital_aig, sources, {"date": "d1"},
+                               constraints=hospital_aig.constraints)
+
+    def test_recursion_through_choice(self):
+        aig = build_fs_aig()
+        _assert_stream_matches(aig, {"FS": load(TREE_ROWS)}, {},
+                               constraints=aig.constraints)
+
+    def test_streaming_constraint_violations_match_tree_checker(self):
+        aig = build_hospital_aig()
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        # drop t4's billing row -> the t4 treatment has no matching item
+        sources["DB3"].execute("DELETE FROM billing WHERE trId = 't4'")
+        _, stream = _assert_stream_matches(
+            aig, sources, {"date": "d1"},
+            constraints=aig.constraints, violation_mode="report")
+        assert stream.constraint_violations  # the seeded defect is seen
+
+    def test_streaming_key_violation_matches_tree_checker(self):
+        aig = build_fs_aig()
+        rows = TREE_ROWS + [("n6", "n4", "readme", "1", "3")]  # dup fname
+        _, stream = _assert_stream_matches(
+            aig, {"FS": load(rows)}, {},
+            constraints=aig.constraints, violation_mode="report")
+        assert any("duplicate" in str(v)
+                   for v in stream.constraint_violations)
+
+
+# ---------------------------------------------------------------------------
+# StreamingConstraintChecker unit behaviour on crafted trees
+# ---------------------------------------------------------------------------
+
+def _leaf(tag, value):
+    return XMLElement(tag, [XMLText(value)])
+
+
+def _checked(tree, constraints):
+    checker = StreamingConstraintChecker(constraints)
+    replay(tree, checker)
+    streamed = [str(v) for v in checker.result()]
+    direct = [str(v) for v in check_constraints(tree, constraints)]
+    return streamed, direct
+
+
+class TestStreamingConstraintChecker:
+    KEY = Key("ctx", "item", ("id",))
+    INCLUSION = InclusionConstraint("ctx", "ref", ("rid",), "item", ("id",))
+
+    def test_key_violation_identical_to_tree_checker(self):
+        tree = XMLElement("ctx", [
+            XMLElement("item", [_leaf("id", "7")]),
+            XMLElement("item", [_leaf("id", "7")]),
+            XMLElement("item", [_leaf("id", "8")]),
+        ])
+        streamed, direct = _checked(tree, [self.KEY])
+        assert streamed == direct and len(streamed) == 1
+
+    def test_inclusion_violation_identical_to_tree_checker(self):
+        tree = XMLElement("ctx", [
+            XMLElement("item", [_leaf("id", "1")]),
+            XMLElement("ref", [_leaf("rid", "1")]),
+            XMLElement("ref", [_leaf("rid", "2")]),
+        ])
+        streamed, direct = _checked(tree, [self.INCLUSION])
+        assert streamed == direct and len(streamed) == 1
+
+    def test_nested_contexts_and_missing_fields(self):
+        inner = XMLElement("ctx", [
+            XMLElement("item", [_leaf("id", "1")]),
+            XMLElement("item", [_leaf("id", "1")]),
+            XMLElement("item"),                      # field absent: skipped
+        ])
+        tree = XMLElement("ctx", [
+            XMLElement("item", [_leaf("id", "1")]),  # unique at outer level?
+            XMLElement("item", [_leaf("id", "1")]),
+            inner,
+        ])
+        streamed, direct = _checked(tree, [self.KEY, self.INCLUSION])
+        assert streamed == direct
+
+    def test_incomplete_stream_rejected(self):
+        checker = StreamingConstraintChecker([self.KEY])
+        checker.start("ctx")
+        with pytest.raises(ValueError):
+            checker.result()
+
+    def test_satisfied_stream_is_clean(self):
+        tree = XMLElement("ctx", [
+            XMLElement("item", [_leaf("id", "1")]),
+            XMLElement("ref", [_leaf("rid", "1")]),
+        ])
+        streamed, direct = _checked(tree, [self.KEY, self.INCLUSION])
+        assert streamed == direct == []
+
+
+# ---------------------------------------------------------------------------
+# pushdown: byte identity, gauges, and streaming-tagging memory bound
+# ---------------------------------------------------------------------------
+
+WIDE_DTD = """
+    <!ELEMENT feed (entry*)>
+    <!ELEMENT entry (name, body)>
+"""
+
+
+def build_wide_scenario(rows=400, body_chars=600):
+    """2 of 7 warehouse columns feed the document; bodies are large."""
+    schema = SourceSchema("W", (relation(
+        "stories", "name", "body", "day", "u0", "u1", "u2", "u3"),))
+    aig = AIG(parse_dtd(WIDE_DTD), Catalog([schema]), root_inh=("day",))
+    aig.inh("entry", "name", "body")
+    aig.rule("feed", inh={"entry": query(
+        "select s.name, s.body from W:stories s where s.day = $day")})
+    aig.rule("entry", inh={
+        "name": assign(val=inh("name")),
+        "body": assign(val=inh("body")),
+    })
+    source = DataSource(schema)
+    source.load_rows("stories", [
+        (f"n{i:05d}", f"{i:06d}" * (body_chars // 6), "d1",
+         "pad", "pad", "pad", "pad")
+        for i in range(rows)])
+    return aig.validate(), {"W": source}
+
+
+class TestPushdown:
+    def test_bytes_identical_with_and_without_pushdown(self):
+        aig, sources = build_wide_scenario(rows=40, body_chars=30)
+        plain = Middleware(aig, sources).evaluate({"day": "d1"})
+        tracer = Tracer()
+        pushed = Middleware(aig, sources, pushdown=True,
+                            tracer=tracer).evaluate({"day": "d1"})
+        assert serialize(pushed.document, indent=2) == \
+            serialize(plain.document, indent=2)
+        read = tracer.metrics.gauge("columns_read")
+        available = tracer.metrics.gauge("columns_available")
+        assert 0 < read < available
+
+    def test_hospital_pushdown_byte_identical(self, hospital_aig):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        plain = Middleware(hospital_aig, sources).evaluate({"date": "d1"})
+        pushed = Middleware(hospital_aig, sources,
+                            pushdown=True, columnar=True)
+        result = pushed.evaluate({"date": "d1"})
+        assert serialize(result.document) == serialize(plain.document)
+
+    def test_streaming_tagging_peak_below_document_size(self):
+        aig, sources = build_wide_scenario()
+        middleware = Middleware(aig, sources, pushdown=True, columnar=True)
+        graph, plan, tagging_plan, _, _ = middleware.prepare(None)
+        from repro.runtime.engine import Engine
+        engine = Engine(graph, plan, sources, middleware.network,
+                        mediator=middleware.mediator,
+                        tagging_plan=tagging_plan)
+        try:
+            result = engine.run({"day": "d1"})
+            sizer = StreamSerializer(lambda chunk: None, indent=2)
+            tracemalloc.start()
+            try:
+                stream_document(tagging_plan, result.cache, {"day": "d1"},
+                                sizer)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+        finally:
+            engine.cleanup()
+        document_bytes = sizer.characters
+        assert document_bytes > 200_000
+        # Tagging must not buffer the document: its working set (sort keys,
+        # per-parent row groups) stays well under the emitted byte count.
+        assert peak < 0.8 * document_bytes, \
+            f"streaming tagging peaked at {peak}B for a " \
+            f"{document_bytes}B document"
+
+    def test_null_event_sink_accepts_events(self):
+        sink = NullEventSink()
+        sink.start("a")
+        sink.text("x")
+        sink.end()
+
+
+# ---------------------------------------------------------------------------
+# the pushdown pass on hand-built QDGs
+# ---------------------------------------------------------------------------
+
+from repro.optimizer.pushdown import apply_pushdown  # noqa: E402
+from repro.optimizer.qdg import (  # noqa: E402
+    QueryDependencyGraph,
+    QueryNode,
+    TaggingPlan,
+)
+from repro.sqlq.ast import (  # noqa: E402
+    BaseTable,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Param,
+    Query,
+    SelectItem,
+    TempTable,
+)
+
+_CATALOG = Catalog([SourceSchema("S", (relation("rel", "a", "b", "c", "d"),))])
+
+
+def _producer(name="P", **overrides):
+    query = Query(
+        select=tuple(SelectItem(ColumnRef("t", col), col)
+                     for col in ("a", "b", "c")),
+        from_items=(BaseTable("S", "rel", "t"),))
+    fields = dict(name=name, source="S", kind="step", query=query,
+                  output_columns=("a", "b", "c"))
+    fields.update(overrides)
+    return QueryNode(**fields)
+
+
+def _consumer(where=(), name="C", inputs=("P",), root_params=None,
+              **overrides):
+    query = Query(
+        select=(SelectItem(ColumnRef("p", "a"), "a"),),
+        from_items=(TempTable("P", "p", ("a", "b", "c")),),
+        where=tuple(where))
+    fields = dict(name=name, source="S", kind="step", query=query,
+                  inputs=inputs, output_columns=("a",),
+                  ship_to_mediator=True,
+                  root_params=dict(root_params or {}))
+    fields.update(overrides)
+    return QueryNode(**fields)
+
+
+def _graph(*nodes):
+    graph = QueryDependencyGraph()
+    for node in nodes:
+        graph.add(node)
+    return graph
+
+
+def _plan(**kwargs):
+    return TaggingPlan(tree=None, **kwargs)
+
+
+class TestPushdownPass:
+    def test_trims_unreferenced_producer_columns(self):
+        producer = _producer()
+        consumer = _consumer()
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert [s.alias for s in producer.query.select] == ["a"]
+        assert producer.output_columns == ("a",)
+        assert report.columns_pruned == 2
+        # the consumer's TempTable reference follows the new shape
+        (item,) = consumer.query.from_items
+        assert item.columns == ("a",)
+
+    def test_where_column_is_kept(self):
+        producer = _producer()
+        consumer = _consumer(
+            where=(Comparison(ColumnRef("p", "b"), "=", Literal("x")),))
+        graph = _graph(producer, consumer)
+        apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert [s.alias for s in producer.query.select] == ["a", "b"]
+
+    def test_tagging_read_nodes_are_never_trimmed(self):
+        producer = _producer()
+        consumer = _consumer()
+        graph = _graph(producer, consumer)
+        apply_pushdown(
+            graph, _plan(table_of={"/r": "C", "/r/x": "P"}), _CATALOG)
+        assert producer.output_columns == ("a", "b", "c")
+
+    def test_raw_sql_consumer_keeps_inputs_whole(self):
+        producer = _producer()
+        consumer = QueryNode("C", "Mediator", "collect",
+                             raw_sql="select a from {P}", inputs=("P",),
+                             output_columns=("a",), ship_to_mediator=True)
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(graph, _plan(), _CATALOG)
+        assert producer.output_columns == ("a", "b", "c")
+        assert report.columns_pruned == 0
+
+    def test_distinct_producer_is_not_trimmed(self):
+        producer = _producer()
+        producer.query = Query(select=producer.query.select,
+                               from_items=producer.query.from_items,
+                               distinct=True)
+        consumer = _consumer()
+        graph = _graph(producer, consumer)
+        apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert producer.output_columns == ("a", "b", "c")
+
+    def test_moves_literal_predicate_and_is_idempotent(self):
+        producer = _producer()
+        predicate = Comparison(ColumnRef("p", "b"), "=", Literal("x"))
+        consumer = _consumer(where=(predicate,))
+        graph = _graph(producer, consumer)
+        plan = _plan(table_of={"/r": "C"})
+        report = apply_pushdown(graph, plan, _CATALOG)
+        assert report.predicates_moved == 1
+        assert Comparison(ColumnRef("t", "b"), "=", Literal("x")) \
+            in producer.query.where
+        assert predicate in consumer.query.where  # consumer keeps its copy
+        again = apply_pushdown(graph, plan, _CATALOG)
+        assert again.predicates_moved == 0
+        assert len(producer.query.where) == 1
+
+    def test_moves_flipped_root_param_predicate(self):
+        producer = _producer()
+        consumer = _consumer(
+            where=(Comparison(Param("day"), "=", ColumnRef("p", "b")),),
+            root_params={"day": "date"})
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert report.predicates_moved == 1
+        assert producer.root_params == {"day": "date"}
+        moved = producer.query.where[0]
+        assert moved.left == Param("day")  # orientation preserved
+
+    def test_param_collision_blocks_the_move(self):
+        producer = _producer(root_params={"day": "other"})
+        # the producer already binds $day to a *different* member
+        producer.query = Query(
+            select=producer.query.select,
+            from_items=producer.query.from_items,
+            where=(Comparison(ColumnRef("t", "a"), "=", Param("day")),))
+        consumer = _consumer(
+            where=(Comparison(ColumnRef("p", "b"), "=", Param("day")),),
+            root_params={"day": "date"})
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert report.predicates_moved == 0
+        assert producer.query.where == (
+            Comparison(ColumnRef("t", "a"), "=", Param("day")),)
+        assert producer.root_params == {"day": "other"}
+
+    def test_shared_producer_blocks_the_move(self):
+        producer = _producer()
+        predicate = Comparison(ColumnRef("p", "b"), "=", Literal("x"))
+        consumer = _consumer(where=(predicate,))
+        other = _consumer(name="C2")
+        graph = _graph(producer, consumer, other)
+        report = apply_pushdown(
+            graph, _plan(table_of={"/r": "C", "/s": "C2"}), _CATALOG)
+        assert report.predicates_moved == 0
+        assert producer.query.where == ()
+        # trimming still applies across the union of both consumers' needs
+        assert producer.output_columns == ("a", "b")
+
+    def test_shipped_producer_is_left_alone(self):
+        producer = _producer(ship_to_mediator=True)
+        consumer = _consumer(
+            where=(Comparison(ColumnRef("p", "b"), "=", Literal("x")),))
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(graph, _plan(table_of={"/r": "C"}), _CATALOG)
+        assert report.predicates_moved == 0
+        assert producer.output_columns == ("a", "b", "c")
+
+    def test_scan_width_measurement(self):
+        producer = _producer()   # reads a, b, c of the 4-column relation
+        consumer = _consumer()
+        graph = _graph(producer, consumer)
+        report = apply_pushdown(
+            graph, _plan(table_of={"/r": "C", "/r/x": "P"}), _CATALOG)
+        assert report.columns_available == 4
+        assert report.columns_read == 3
