@@ -27,6 +27,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 BENCH_INCREMENTAL_JSON = REPO_ROOT / "BENCH_incremental.json"
 BENCH_DATAPLANE_JSON = REPO_ROOT / "BENCH_dataplane.json"
+BENCH_OBS_JSON = REPO_ROOT / "BENCH_obs.json"
 
 
 def report(name: str, text: str) -> str:

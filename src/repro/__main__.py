@@ -16,6 +16,11 @@ Commands:
   and print the cost-model calibration: the optimizer's modeled
   ``eval_cost``/``size`` per QDG node joined against measured wall time
   and bytes, with q-error aggregates (see docs/OBSERVABILITY.md).
+* ``profile [--scale S] [--runs N] [--feedback FILE] [--ledger FILE]
+  [--prometheus FILE] [--json FILE]`` — EXPLAIN ANALYZE: evaluate under
+  measurement and print the executed plan annotated with estimated vs
+  measured rows/seconds and per-node q-error; ``--runs N`` with a
+  feedback store shows the cost model learning between runs.
 * ``check [--scale S]`` — the full cross-path equivalence check: conceptual
   vs. optimized evaluation, DTD conformance, constraint satisfaction.
 * ``fuzz [--seeds N] [--start N] [--violate-every N] [--seed-file FILE]
@@ -39,7 +44,8 @@ import sys
 def _make_tracer(args):
     """A recording tracer when any observability output was requested."""
     if (getattr(args, "trace", None) or getattr(args, "metrics", False)
-            or getattr(args, "metrics_json", None)):
+            or getattr(args, "metrics_json", None)
+            or getattr(args, "prometheus", None)):
         from repro.obs import Tracer
         return Tracer()
     return None
@@ -48,7 +54,8 @@ def _make_tracer(args):
 def _export_observability(tracer, args) -> None:
     if tracer is None:
         return
-    from repro.obs import text_summary, write_chrome_trace, write_metrics
+    from repro.obs import (text_summary, write_chrome_trace, write_metrics,
+                           write_prometheus)
     if getattr(args, "trace", None):
         spans = write_chrome_trace(tracer, args.trace)
         print(f"trace: {spans} span(s) on {len(tracer.tracks())} track(s) "
@@ -58,6 +65,9 @@ def _export_observability(tracer, args) -> None:
         named = (len(payload.get("counters", {}))
                  + len(payload.get("gauges", {})))
         print(f"metrics: {named} counter(s)/gauge(s) -> {args.metrics_json}")
+    if getattr(args, "prometheus", None):
+        lines = write_prometheus(tracer, args.prometheus)
+        print(f"prometheus: {lines} line(s) -> {args.prometheus}")
     if getattr(args, "metrics", False):
         print(text_summary(tracer))
 
@@ -86,7 +96,8 @@ def _demo(args) -> int:
         retry_policy=retry_policy,
         deadline=args.deadline,
         on_source_failure="degrade" if args.degrade else "abort",
-        incremental=args.incremental)
+        incremental=args.incremental,
+        ledger=args.ledger)
     injector = None
     if args.faults:
         from repro.resilience import FaultInjector
@@ -156,6 +167,59 @@ def _calibrate(args) -> int:
     return 0
 
 
+def _profile(args) -> int:
+    from repro import Middleware, Network
+    from repro.datagen import make_loaded_sources
+    from repro.hospital import build_hospital_aig
+    from repro.obs import CostFeedbackStore, build_profile, \
+        profile_evaluation
+
+    aig = build_hospital_aig()
+    sources, dataset = make_loaded_sources(args.scale)
+    date = args.date or dataset.busiest_date()
+    tracer = _make_tracer(args)
+    feedback = None
+    if args.feedback:
+        feedback = CostFeedbackStore(args.feedback)
+    elif args.runs > 1:
+        feedback = CostFeedbackStore()  # in-memory: learn across --runs
+    middleware = Middleware(aig, sources, Network.mbps(args.mbps),
+                            merging=not args.no_merge,
+                            unfold_depth="auto",
+                            workers=args.workers,
+                            tracer=tracer,
+                            cost_feedback=feedback,
+                            ledger=args.ledger)
+    for run in range(1, args.runs + 1):
+        report, text = profile_evaluation(middleware, {"date": date})
+        if args.runs > 1:
+            print(f"-- run {run}/{args.runs} --")
+        print(text)
+        aggregates = middleware.calibration_report().aggregates()
+        print(f"calibrate: q-error median rows "
+              f"{aggregates['rows_q_error']['median']:.2f}, seconds "
+              f"{aggregates['seconds_q_error']['median']:.2f} "
+              f"(mean {aggregates['seconds_q_error']['mean']:.2f}, "
+              f"max {aggregates['seconds_q_error']['max']:.2f})")
+        if run < args.runs:
+            print()
+    if args.json:
+        profiled = build_profile(middleware._last_graph,
+                                 middleware._last_estimates,
+                                 middleware._last_result.timings)
+        payload = {"nodes": [node.to_dict() for node in profiled],
+                   "calibration":
+                       middleware.calibration_report().aggregates()}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"profile: {len(profiled)} node(s) -> {args.json}")
+    if args.ledger:
+        print(f"ledger: {args.runs} record(s) appended -> {args.ledger}")
+    _export_observability(tracer, args)
+    return 0
+
+
 def _check(args) -> int:
     from repro import ConceptualEvaluator, Middleware, Network, conforms_to
     from repro.constraints import check_constraints
@@ -193,6 +257,16 @@ def _explain(args) -> int:
                             unfold_depth=args.depth,
                             incremental=args.incremental)
     depth = args.depth
+    if args.analyze:
+        # EXPLAIN ANALYZE: evaluate under measurement, then print the
+        # plan followed by the est-vs-measured annotation of what ran.
+        from repro.obs import profile_evaluation
+        _, analyze_text = profile_evaluation(
+            middleware, {"date": dataset.busiest_date()})
+        print(middleware.explain(middleware._last_depth))
+        print()
+        print(analyze_text)
+        return 0
     if args.incremental:
         # Warm the cache so the report can show per-node taint state; the
         # runtime re-unrolling loop may have settled on a deeper unfolding
@@ -320,7 +394,8 @@ def _info(args) -> int:
         ("repro.optimizer", "query dependency graph, cost model, "
                             "Schedule, Merge"),
         ("repro.runtime", "execution engine, tagging, recursion handling"),
-        ("repro.obs", "tracing, metrics, cost-model calibration"),
+        ("repro.obs", "tracing, metrics, calibration, run ledger, "
+                      "cost feedback, EXPLAIN ANALYZE"),
         ("repro.analysis", "termination / reachability / CSR analyses"),
         ("repro.datagen", "Table 1 datasets (ToXgene substitute)"),
     ]
@@ -362,6 +437,12 @@ def main(argv: list[str] | None = None) -> int:
                       help="print the metrics/span summary after the run")
     demo.add_argument("--metrics-json", default=None, metavar="FILE",
                       help="write counters/gauges/span rollups as JSON")
+    demo.add_argument("--prometheus", default=None, metavar="FILE",
+                      help="write metrics in the Prometheus text "
+                           "exposition format")
+    demo.add_argument("--ledger", default=None, metavar="FILE",
+                      help="append one JSONL run record per evaluation "
+                           "(see docs/OBSERVABILITY.md)")
     demo.add_argument("--faults", default=None, metavar="SPEC",
                       type=_faults_value,
                       help="inject deterministic faults, e.g. "
@@ -401,6 +482,36 @@ def main(argv: list[str] | None = None) -> int:
                            help="also write the report as JSON")
     calibrate.set_defaults(handler=_calibrate)
 
+    profile = commands.add_parser(
+        "profile", parents=[common],
+        help="EXPLAIN ANALYZE: evaluate under measurement, print est vs "
+             "measured per plan node")
+    profile.add_argument("--scale", default="tiny",
+                         choices=["tiny", "small", "medium", "large"])
+    profile.add_argument("--date", default=None)
+    profile.add_argument("--mbps", type=float, default=1.0)
+    profile.add_argument("--no-merge", action="store_true")
+    profile.add_argument("--workers", type=_workers_value, default=1,
+                         metavar="N|auto")
+    profile.add_argument("--runs", type=int, default=1, metavar="N",
+                         help="evaluate N times; with >1 run a cost-"
+                              "feedback store is enabled so later runs "
+                              "plan with measured costs")
+    profile.add_argument("--feedback", default=None, metavar="FILE",
+                         help="persist the cost-feedback store at FILE "
+                              "(implies feedback on)")
+    profile.add_argument("--ledger", default=None, metavar="FILE",
+                         help="append one JSONL run record per evaluation")
+    profile.add_argument("--prometheus", default=None, metavar="FILE",
+                         help="write metrics in the Prometheus text "
+                              "exposition format")
+    profile.add_argument("--metrics", action="store_true",
+                         help="print the metrics/span summary")
+    profile.add_argument("--metrics-json", default=None, metavar="FILE")
+    profile.add_argument("--json", default=None, metavar="FILE",
+                         help="write the last run's profile as JSON")
+    profile.set_defaults(handler=_profile)
+
     check = commands.add_parser(
         "check", parents=[common],
         help="cross-path equivalence + conformance check")
@@ -418,6 +529,9 @@ def main(argv: list[str] | None = None) -> int:
     explain.add_argument("--incremental", action="store_true",
                          help="evaluate once with the result cache on and "
                               "show per-node cached/tainted state")
+    explain.add_argument("--analyze", action="store_true",
+                         help="EXPLAIN ANALYZE: evaluate and annotate the "
+                              "plan with measured rows/seconds + q-error")
     explain.set_defaults(handler=_explain)
 
     fuzz = commands.add_parser(

@@ -508,6 +508,10 @@ class PlanExecutor:
                     modeled)
                 metrics.add(f"lane_busy_seconds.{done.lane}",
                             done.busy_seconds)
+                metrics.observe("node_latency_seconds",
+                                done.eval_seconds + modeled)
+                metrics.observe(f"node_latency_seconds.{done.lane}",
+                                done.eval_seconds + modeled)
                 logger.debug("completed %s on %s: %d row(s), %.4fs eval, "
                              "simulated finish %.3fs", done.name, done.lane,
                              output_rows, done.eval_seconds, finish)

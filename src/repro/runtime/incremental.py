@@ -149,6 +149,42 @@ def compute_fingerprints(graph, sources, root_inh: dict) -> dict:
     return fingerprints
 
 
+def structural_fingerprint(node) -> str:
+    """Version- and value-*independent* hash of one QDG node's shape.
+
+    Unlike :func:`compute_fingerprints`, this covers only what the node
+    *is* — kind, source, member names, SQL text, input names — never what
+    the data currently holds (no table versions, no root-attribute
+    values, no producer chaining).  Two evaluations of the same prepared
+    plan therefore key identical nodes identically even after source
+    updates, which is exactly what the cost-feedback store
+    (:mod:`repro.obs.feedback`) and the run ledger need: measured costs
+    accumulate across runs of the same plan.
+    """
+    parts: list = [node.kind, node.source]
+    members = getattr(node, "members", None) or (node,)
+    for member in members:
+        parts.append(member.name)
+        if member.query is not None:
+            parts.append(str(member.query))
+        if member.raw_sql is not None:
+            parts.append(member.raw_sql)
+        parts.append(tuple(member.inputs))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def plan_fingerprint(graph) -> str:
+    """Structural hash of a whole QDG: the plan's identity across runs.
+
+    Folds every node's :func:`structural_fingerprint` in topological
+    order, so ledger records from repeated evaluations of one AIG carry
+    the same ``plan_fingerprint`` and can be joined by it.
+    """
+    parts = [structural_fingerprint(node)
+             for node in graph.topological_order()]
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
 def plan_increment(graph, entries: dict, fingerprints: dict
                    ) -> IncrementalPlan:
     """Split the graph into a reusable (clean) set and a tainted cone.

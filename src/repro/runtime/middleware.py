@@ -130,7 +130,9 @@ class Middleware:
                  breaker_policy=None,
                  incremental: bool = False,
                  pushdown: bool = False,
-                 columnar: bool | int = False):
+                 columnar: bool | int = False,
+                 cost_feedback=None,
+                 ledger=None):
         #: Observability handle (see :mod:`repro.obs`): a recording
         #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
         #: for every evaluation; the default no-op tracer leaves the hot
@@ -213,6 +215,22 @@ class Middleware:
         #: committed only after fully successful runs.
         self.incremental = incremental
         self._result_caches: dict = {}
+        #: Cost feedback (docs/OBSERVABILITY.md): a
+        #: :class:`~repro.obs.feedback.CostFeedbackStore` (or a path to
+        #: persist one at) that absorbs measured per-node costs after every
+        #: successful run and corrects the cost model's estimates on the
+        #: next compile of the same plan.
+        if isinstance(cost_feedback, str):
+            from repro.obs.feedback import CostFeedbackStore
+            cost_feedback = CostFeedbackStore(cost_feedback)
+        self.cost_feedback = cost_feedback
+        #: Run ledger (docs/OBSERVABILITY.md): a
+        #: :class:`~repro.obs.ledger.RunLedger` (or a path to one) that
+        #: gets one JSONL record appended per evaluation.
+        if isinstance(ledger, str):
+            from repro.obs.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        self.ledger = ledger
         #: Connections pre-leased for a whole batch (``evaluate_batch``).
         self._preleased: dict = {}
 
@@ -294,6 +312,8 @@ class Middleware:
         from repro.runtime.tagging import NullEventSink, stream_document
 
         tracer = self.tracer
+        metrics_before = (tracer.metrics.snapshot()
+                          if self.ledger is not None else None)
         with tracer.span("evaluate-stream", "pipeline", depth=depth):
             graph, plan, tagging_plan, estimated_cost, estimates = \
                 self.prepare(depth)
@@ -323,8 +343,10 @@ class Middleware:
                 rename = base_name if depth is not None else None
                 if recursive:
                     try:
-                        stream_document(tagging_plan, result.cache, root_inh,
-                                        NullEventSink(), rename=rename)
+                        with tracer.span("tagging-dryrun", "tagging"):
+                            stream_document(tagging_plan, result.cache,
+                                            root_inh, NullEventSink(),
+                                            rename=rename)
                     except RecursionTruncated:
                         return None
                     if self._needs_deeper(None, depth):
@@ -335,7 +357,7 @@ class Middleware:
                 if constraints:
                     checker = StreamingConstraintChecker(constraints)
                     sinks.append(checker)
-                with tracer.span("tagging", "streaming-tagging") as span:
+                with tracer.span("tagging", "tagging") as span:
                     elements = stream_document(tagging_plan, result.cache,
                                                root_inh, *sinks,
                                                rename=rename)
@@ -344,9 +366,29 @@ class Middleware:
             finally:
                 engine.cleanup()
             tracer.metrics.set_gauge("streamed_elements", elements)
+            tracer.metrics.set_gauge("document_characters",
+                                     serializer.characters)
             tracer.metrics.set_gauge("unfold_depth",
                                      0 if depth is None else depth)
             tracer.metrics.add("evaluations", 1)
+            tracer.metrics.observe("evaluation_latency_seconds",
+                                   result.measured_seconds)
+        self._last_graph = graph
+        self._last_estimates = estimates
+        if (self.cost_feedback is not None
+                and result.failure_report is None):
+            self.cost_feedback.observe_run(graph, result.timings)
+        stream_violations = (checker.result() if checker is not None else [])
+        if self.ledger is not None:
+            self._record_run(
+                "stream", graph, result, metrics_before,
+                plan_info={"estimated_cost": round(estimated_cost, 6),
+                           "response_time": round(result.response_time, 6),
+                           "node_count": len(graph),
+                           "unfold_depth": depth},
+                document_bytes=serializer.characters,
+                violations=list(result.violations) + list(stream_violations),
+                extra={"streamed_elements": elements})
         return StreamReport(
             response_time=result.response_time,
             estimated_cost=estimated_cost,
@@ -359,8 +401,7 @@ class Middleware:
             elements=elements,
             characters=serializer.characters,
             violations=list(result.violations),
-            constraint_violations=(checker.result() if checker is not None
-                                   else []),
+            constraint_violations=stream_violations,
             failure_report=result.failure_report)
 
     def _initial_depth(self) -> int:
@@ -385,11 +426,22 @@ class Middleware:
 
         Results are cached per depth — the whole pipeline up to execution is
         input-independent, so evaluating many root attributes (the paper's
-        *daily* reports) pays for optimization once.
+        *daily* reports) pays for optimization once.  With a cost-feedback
+        store attached, the cache key also carries the store's generation:
+        the plan is re-optimized exactly when new measurements arrived.
         """
         if not hasattr(self, "_prepared"):
             self._prepared = {}
-        if depth not in self._prepared:
+        generation = (self.cost_feedback.generation
+                      if self.cost_feedback is not None else None)
+        key = (depth, generation)
+        if key not in self._prepared:
+            # Stale generations of the same depth are never consulted
+            # again — drop them so feedback-driven re-prepares don't grow
+            # the cache without bound.
+            for stale in [entry for entry in self._prepared
+                          if entry[0] == depth]:
+                del self._prepared[stale]
             tracer = self.tracer
             working = self.aig
             if depth is not None:
@@ -414,7 +466,8 @@ class Middleware:
                                    pushed.columns_pruned)
                 tracer.metrics.add("pushdown_predicates_moved",
                                    pushed.predicates_moved)
-            model = CostModel(self.stats, overhead=self.query_overhead)
+            model = CostModel(self.stats, overhead=self.query_overhead,
+                              feedback=self.cost_feedback)
             with tracer.span("merge+schedule", "optimize",
                              merging=self.merging) as optimize_span:
                 if self.merging:
@@ -429,9 +482,9 @@ class Middleware:
             logger.info("prepared plan (depth=%s): %d node(s), predicted "
                         "cost %.3fs, merging %s", depth, len(graph), cost,
                         "on" if self.merging else "off")
-            self._prepared[depth] = (graph, plan, tagging_plan, cost,
-                                     estimates)
-        return self._prepared[depth]
+            self._prepared[key] = (graph, plan, tagging_plan, cost,
+                                   estimates)
+        return self._prepared[key]
 
     def invalidate_plans(self) -> None:
         """Drop cached plans, incremental result caches, and any cached
@@ -554,14 +607,19 @@ class Middleware:
         if not hasattr(self, "_last_result"):
             raise EvaluationError(
                 "calibration_report() requires a prior evaluate() run")
-        graph, _, _, _, estimates = self.prepare(self._last_depth)
-        return build_calibration(graph, estimates,
+        # Join against the estimates that *planned* the last run (not a
+        # fresh prepare): with cost feedback attached, a re-prepare would
+        # already fold in what the run just measured and the report would
+        # grade the model against its own answer key.
+        return build_calibration(self._last_graph, self._last_estimates,
                                  self._last_result.timings)
 
     # ------------------------------------------------------------------
     def _evaluate_at_depth(self, root_inh: dict,
                            depth: int | None) -> ExecutionReport:
         tracer = self.tracer
+        metrics_before = (tracer.metrics.snapshot()
+                          if self.ledger is not None else None)
         with tracer.span("evaluate", "pipeline", depth=depth):
             optimization_started = time.perf_counter()
             graph, plan, tagging_plan, estimated_cost, estimates = \
@@ -643,9 +701,29 @@ class Middleware:
             tracer.metrics.set_gauge("unfold_depth",
                                      0 if depth is None else depth)
             tracer.metrics.add("evaluations", 1)
+            tracer.metrics.observe("evaluation_latency_seconds",
+                                   result.measured_seconds)
         self._last_result = result
         self._last_tagging = tagging_plan
         self._last_depth = depth
+        self._last_graph = graph
+        self._last_estimates = estimates
+        if (self.cost_feedback is not None
+                and result.failure_report is None):
+            self.cost_feedback.observe_run(graph, result.timings)
+        if self.ledger is not None:
+            from repro.xmlmodel.serialize import serialize
+            self._record_run(
+                "evaluate", graph, result, metrics_before,
+                plan_info={"estimated_cost": round(estimated_cost, 6),
+                           "response_time": round(result.response_time, 6),
+                           "node_count": len(graph),
+                           "unfold_depth": depth},
+                document_bytes=len(serialize(document).encode("utf-8")),
+                violations=result.violations,
+                extra={"reused_nodes": result.reused_nodes,
+                       "tainted_nodes": (len(increment.tainted)
+                                         if increment is not None else 0)})
         return ExecutionReport(
             document=document,
             response_time=result.response_time,
@@ -666,6 +744,53 @@ class Middleware:
                            else 0),
             subtrees_spliced=(reuse.spliced if increment is not None
                               and reuse is not None else 0))
+
+    # ------------------------------------------------------------------
+    def _config_dict(self) -> dict:
+        """The middleware knobs that shaped a run (ledger ``config``)."""
+        return {
+            "merging": self.merging,
+            "scheduling": self.scheduling,
+            "workers": self.workers,
+            "unfold_depth": self.unfold_depth,
+            "max_unfold_depth": self.max_unfold_depth,
+            "violation_mode": self.violation_mode,
+            "incremental": self.incremental,
+            "pushdown": self.pushdown,
+            "columnar_batch_rows": self.batch_rows,
+            "query_overhead": self.query_overhead,
+            "emulate_overheads": self.emulate_overheads,
+            "on_source_failure": self.on_source_failure,
+            "deadline": self.deadline,
+            "retries": (self.retry_policy.retries
+                        if self.retry_policy is not None else None),
+            "cost_feedback": self.cost_feedback is not None,
+        }
+
+    def _record_run(self, kind: str, graph, result, metrics_before,
+                    plan_info: dict, document_bytes: int,
+                    violations: list, extra: dict) -> None:
+        """Append one run record to the attached ledger."""
+        from repro.obs.ledger import build_run_record, metrics_delta
+        run_info = {
+            "measured_seconds": round(result.measured_seconds, 6),
+            "queries_executed": result.queries_executed,
+            "bytes_shipped": result.bytes_shipped,
+            "document_bytes": document_bytes,
+            "degraded": result.failure_report is not None,
+            "violations": len(violations),
+        }
+        run_info.update(extra)
+        constraint_records = [str(violation) for violation in violations]
+        record = build_run_record(
+            kind, graph, result.timings,
+            config=self._config_dict(),
+            plan_info=plan_info,
+            run_info=run_info,
+            metrics=metrics_delta(metrics_before,
+                                  self.tracer.metrics.snapshot()),
+            constraints=constraint_records)
+        self.ledger.append(record)
 
     # ------------------------------------------------------------------
     def _needs_deeper(self, report: ExecutionReport,

@@ -5,7 +5,10 @@ The load-bearing guarantees tested here:
 * spans nest correctly — including under concurrent execution, where each
   worker lane gets its own track and per-lane query spans never overlap;
 * tracing is *inert*: the generated document, shipped bytes, and reported
-  violations are byte-identical with tracing on vs. off;
+  violations are byte-identical with tracing on vs. off — on the
+  materialized *and* the streaming path;
+* histograms report exact nearest-rank quantiles and survive concurrent
+  observers; every exporter emits deterministically sorted keys;
 * one ``demo --trace`` run yields a valid Chrome trace (≥ 8 categories,
   one thread row per lane) and a metrics export with ≥ 10 named metrics;
 * the calibration report joins modeled estimates to measured timings.
@@ -112,10 +115,13 @@ class TestNullTracer:
     def test_metrics_are_noop(self):
         NULL_TRACER.metrics.add("x", 5)
         NULL_TRACER.metrics.set_gauge("g", 1.0)
+        NULL_TRACER.metrics.observe("h", 0.25)
         assert NULL_TRACER.metrics.counter("x") == 0
+        assert NULL_TRACER.metrics.histogram("h") is None
         assert len(NULL_TRACER.metrics) == 0
         assert NULL_TRACER.metrics.snapshot() == {"counters": {},
-                                                  "gauges": {}}
+                                                  "gauges": {},
+                                                  "histograms": {}}
 
     def test_swallows_nothing(self):
         with pytest.raises(KeyError):
@@ -151,6 +157,81 @@ class TestMetricsRegistry:
         for thread in threads:
             thread.join()
         assert metrics.counter("hits") == 8000
+
+
+class TestHistograms:
+    def test_quantiles_are_exact_nearest_rank(self):
+        from repro.obs import Histogram
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.sum == 5050.0
+        assert histogram.percentile(0.5) == 50.0
+        assert histogram.percentile(0.95) == 95.0
+        assert histogram.percentile(0.99) == 99.0
+        digest = histogram.summary()
+        assert digest["min"] == 1.0 and digest["max"] == 100.0
+        assert digest["p50"] == 50.0 and digest["p99"] == 99.0
+
+    def test_empty_and_single(self):
+        from repro.obs import Histogram
+        empty = Histogram()
+        assert empty.summary() == {"count": 0, "sum": 0.0}
+        assert empty.percentile(0.99) == 0.0
+        single = Histogram()
+        single.observe(0.125)
+        digest = single.summary()
+        assert digest["p50"] == digest["p99"] == digest["max"] == 0.125
+
+    def test_registry_snapshot_includes_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.observe("latency", 1.0)
+        metrics.observe("latency", 3.0)
+        snap = metrics.snapshot()
+        assert snap["histograms"]["latency"]["count"] == 2
+        assert snap["histograms"]["latency"]["sum"] == 4.0
+        assert metrics.histogram("latency").count == 2
+        assert len(metrics) == 1
+
+    def test_concurrent_observes_do_not_lose_values(self):
+        metrics = MetricsRegistry()
+
+        def hammer():
+            for index in range(1000):
+                metrics.observe("lat", float(index))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.histogram("lat").count == 8000
+
+
+class TestDeterministicExports:
+    def test_snapshot_keys_sorted(self):
+        metrics = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            metrics.add(name)
+            metrics.set_gauge(f"g_{name}", 1.0)
+            metrics.observe(f"h_{name}", 1.0)
+        snap = metrics.snapshot()
+        for family in ("counters", "gauges", "histograms"):
+            assert list(snap[family]) == sorted(snap[family])
+
+    def test_json_exports_are_sorted_and_stable(self, tmp_path):
+        middleware, tracer = traced_middleware()
+        middleware.evaluate({"date": "d1"})
+        metrics_path = tmp_path / "metrics.json"
+        payload = write_metrics(tracer, str(metrics_path))
+        text = metrics_path.read_text()
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        trace_path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(trace_path))
+        loaded = trace_path.read_text()
+        assert loaded == json.dumps(json.loads(loaded), indent=1,
+                                    sort_keys=True) + "\n"
 
 
 class TestInstrumentedRun:
@@ -273,6 +354,44 @@ class TestTracingEquivalence:
         assert on.node_count == off.node_count
         assert on.response_time == pytest.approx(off.response_time,
                                                  rel=0.05)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_streaming_bytes_identical(self, workers):
+        outputs = []
+        for tracer in (None, Tracer()):
+            sources = make_sources()
+            load_tiny_hospital(sources)
+            middleware = Middleware(build_hospital_aig(), sources,
+                                    Network.mbps(1.0), workers=workers,
+                                    tracer=tracer)
+            chunks: list[str] = []
+            report = middleware.evaluate_stream({"date": "d1"},
+                                                chunks.append)
+            outputs.append(("".join(chunks), report.characters,
+                            report.bytes_shipped))
+        off, on = outputs
+        assert on == off
+        assert on[0]  # non-empty document streamed
+
+    def test_streaming_emits_evaluate_span_taxonomy(self):
+        sources = make_sources()
+        load_tiny_hospital(sources)
+        tracer = Tracer()
+        middleware = Middleware(build_hospital_aig(), sources,
+                                Network.mbps(1.0), workers=4, tracer=tracer)
+        middleware.evaluate_stream({"date": "d1"}, lambda _: None)
+        categories = tracer.categories()
+        # same taxonomy as evaluate(): no streaming-only category names
+        expected = {"pipeline", "unfold", "compile", "qdg", "optimize",
+                    "execute", "query", "collect", "ship", "tagging"}
+        assert expected <= categories
+        assert "streaming-tagging" not in categories
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["evaluations"] == 1
+        assert "streamed_elements" in snap["gauges"]
+        assert "document_characters" in snap["gauges"]
+        assert snap["histograms"]["evaluation_latency_seconds"]["count"] == 1
+        assert snap["histograms"]["node_latency_seconds"]["count"] > 0
 
     @pytest.mark.parametrize("workers", [1, 4])
     def test_violations_identical(self, workers):

@@ -1,0 +1,322 @@
+"""Persistent profiling layer: run ledger, cost feedback, EXPLAIN
+ANALYZE, and the Prometheus export.
+
+The load-bearing guarantees tested here:
+
+* structural fingerprints are value/version-independent — two separately
+  built middlewares over the same AIG key their plans identically;
+* the run ledger appends one JSONL record per evaluation, rotates at the
+  size bound, and its reader tolerates a torn trailing line;
+* the cost-feedback store demonstrably shrinks the calibrate q-error on
+  a warm second run, persists across ``Middleware`` instances, and never
+  changes the produced document;
+* ``render_profile`` / ``repro profile`` / ``repro explain --analyze``
+  annotate every executed node with estimated vs measured numbers;
+* the Prometheus export exposes counters, gauges, and p50/p95/p99
+  latency summaries deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro import Middleware, Network, serialize
+from repro.hospital import build_hospital_aig, make_sources
+from repro.obs import (
+    CostFeedbackStore,
+    RunLedger,
+    Tracer,
+    build_profile,
+    profile_evaluation,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.runtime.incremental import plan_fingerprint, structural_fingerprint
+from repro.__main__ import main
+from tests.conftest import load_tiny_hospital
+
+
+def fresh_middleware(**kwargs):
+    sources = make_sources()
+    load_tiny_hospital(sources)
+    return Middleware(build_hospital_aig(), sources, Network.mbps(1.0),
+                      **kwargs)
+
+
+class TestStructuralFingerprints:
+    def test_same_plan_same_fingerprint_across_instances(self):
+        first = fresh_middleware()
+        second = fresh_middleware()
+        first.evaluate({"date": "d1"})
+        second.evaluate({"date": "d2"})    # different root value
+        assert plan_fingerprint(first._last_graph) == \
+            plan_fingerprint(second._last_graph)
+        firsts = {name: structural_fingerprint(node)
+                  for name, node in first._last_graph.nodes.items()}
+        seconds = {name: structural_fingerprint(node)
+                   for name, node in second._last_graph.nodes.items()}
+        assert firsts == seconds
+
+    def test_data_changes_do_not_move_fingerprints(self):
+        middleware = fresh_middleware()
+        middleware.evaluate({"date": "d1"})
+        before = plan_fingerprint(middleware._last_graph)
+        middleware.sources["DB3"].execute_script(
+            "DELETE FROM billing WHERE trId='t4'")
+        assert plan_fingerprint(middleware._last_graph) == before
+
+    def test_distinct_nodes_distinct_fingerprints(self):
+        middleware = fresh_middleware()
+        middleware.evaluate({"date": "d1"})
+        prints = [structural_fingerprint(node)
+                  for node in middleware._last_graph.nodes.values()]
+        assert len(set(prints)) == len(prints)
+
+
+class TestRunLedger:
+    def test_append_and_read(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        ledger.append({"kind": "evaluate", "n": 1})
+        ledger.append({"kind": "evaluate", "n": 2})
+        records = ledger.records()
+        assert [r["n"] for r in records] == [1, 2]
+        assert all(r["schema"] == 1 and "timestamp" in r for r in records)
+        assert len(ledger) == 2
+
+    def test_rotation_keeps_bounded_backups(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(str(path), max_bytes=200, backups=2)
+        for n in range(12):
+            ledger.append({"n": n, "pad": "x" * 60})
+        assert path.exists()
+        assert (tmp_path / "runs.jsonl.1").exists()
+        assert (tmp_path / "runs.jsonl.2").exists()
+        assert not (tmp_path / "runs.jsonl.3").exists()
+        records = ledger.records()
+        # oldest records were dropped with the oldest backup, order holds
+        numbers = [r["n"] for r in records]
+        assert numbers == sorted(numbers)
+        assert numbers[-1] == 11
+        assert len(numbers) < 12
+
+    def test_corrupt_trailing_line_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append({"n": 1})
+        ledger.append({"n": 2})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"n": 3, "truncated": "mid-wri')  # torn append
+        assert [r["n"] for r in ledger.records()] == [1, 2]
+        # appending after the torn line still works; the reader skips
+        # only the corrupt line
+        ledger.append({"n": 4})
+        recovered = [r["n"] for r in ledger.records()]
+        assert 4 in recovered and 3 not in recovered
+
+    def test_non_object_lines_ignored(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('[1, 2]\n\n{"ok": true}\n')
+        assert RunLedger(str(path)).records() == [{"ok": True}]
+
+
+class TestMiddlewareLedger:
+    def test_two_runs_matching_fingerprints(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        middleware = fresh_middleware(ledger=path, tracer=Tracer())
+        first = middleware.evaluate({"date": "d1"})
+        second = middleware.evaluate({"date": "d1"})
+        records = RunLedger(path).records()
+        assert len(records) == 2
+        assert records[0]["plan_fingerprint"] == \
+            records[1]["plan_fingerprint"]
+        assert records[0]["kind"] == "evaluate"
+        assert records[0]["run"]["document_bytes"] == \
+            len(serialize(first.document).encode("utf-8"))
+        assert records[0]["config"]["merging"] is True
+        assert records[0]["plan"]["node_count"] == first.node_count
+        nodes = records[0]["nodes"]
+        assert nodes
+        for node in nodes:
+            assert node["fingerprint"]
+            assert node["output_rows"] >= 0
+            assert node["eval_seconds"] >= 0.0
+        # per-run metrics are deltas: the second record counts only the
+        # second run's queries
+        assert records[1]["metrics"]["counters"]["queries_executed"] == \
+            second.queries_executed
+        assert records[1]["run"]["peak_rss_bytes"] is None or \
+            records[1]["run"]["peak_rss_bytes"] > 0
+
+    def test_streaming_run_recorded(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        middleware = fresh_middleware(ledger=path)
+        chunks: list[str] = []
+        report = middleware.evaluate_stream({"date": "d1"}, chunks.append)
+        (record,) = RunLedger(path).records()
+        assert record["kind"] == "stream"
+        assert record["run"]["document_bytes"] == report.characters
+        assert record["run"]["streamed_elements"] == report.elements
+        assert record["plan_fingerprint"]
+
+    def test_ledger_never_changes_the_document(self, tmp_path):
+        plain = fresh_middleware().evaluate({"date": "d1"})
+        ledgered = fresh_middleware(
+            ledger=str(tmp_path / "l.jsonl")).evaluate({"date": "d1"})
+        assert serialize(ledgered.document) == serialize(plain.document)
+
+
+class TestCostFeedback:
+    def test_second_run_q_error_strictly_improves(self):
+        middleware = fresh_middleware(cost_feedback=CostFeedbackStore())
+        middleware.evaluate({"date": "d1"})
+        cold = middleware.calibration_report().aggregates()
+        middleware.evaluate({"date": "d1"})
+        warm = middleware.calibration_report().aggregates()
+        assert warm["seconds_q_error"]["median"] < \
+            cold["seconds_q_error"]["median"]
+        assert warm["rows_q_error"]["median"] <= \
+            cold["rows_q_error"]["median"]
+        # warm estimates are measured values: rows become exact
+        assert warm["rows_q_error"]["median"] == pytest.approx(1.0)
+
+    def test_feedback_never_changes_the_document(self):
+        plain = fresh_middleware()
+        learned = fresh_middleware(cost_feedback=CostFeedbackStore())
+        baseline = plain.evaluate({"date": "d1"})
+        first = learned.evaluate({"date": "d1"})
+        second = learned.evaluate({"date": "d1"})
+        assert serialize(first.document) == serialize(baseline.document)
+        assert serialize(second.document) == serialize(baseline.document)
+
+    def test_persists_across_middleware_instances(self, tmp_path):
+        path = str(tmp_path / "feedback.json")
+        first = fresh_middleware(cost_feedback=path)
+        first.evaluate({"date": "d1"})
+        cold = first.calibration_report().aggregates()
+        assert len(first.cost_feedback) > 0
+        # a brand-new middleware (fresh sources, fresh plan) loads the
+        # store from disk and plans its *first* run with measured costs
+        second = fresh_middleware(cost_feedback=path)
+        assert len(second.cost_feedback) == len(first.cost_feedback)
+        second.evaluate({"date": "d1"})
+        warm = second.calibration_report().aggregates()
+        assert warm["seconds_q_error"]["median"] < \
+            cold["seconds_q_error"]["median"]
+
+    def test_generation_gates_the_prepared_plan_cache(self):
+        middleware = fresh_middleware(cost_feedback=CostFeedbackStore())
+        middleware.evaluate({"date": "d1"})
+        first_estimates = middleware._last_estimates
+        middleware.evaluate({"date": "d1"})
+        assert middleware._last_estimates is not first_estimates
+        # without feedback the prepared plan is reused as before
+        plain = fresh_middleware()
+        plain.evaluate({"date": "d1"})
+        cached = plain._last_estimates
+        plain.evaluate({"date": "d1"})
+        assert plain._last_estimates is cached
+
+    def test_ewma_tracks_drift(self):
+        store = CostFeedbackStore(alpha=0.5)
+        store.observe("fp", rows=100, bytes_=800, seconds=1.0)
+        store.observe("fp", rows=200, bytes_=1600, seconds=2.0)
+        entry = store.lookup("fp")
+        assert entry["rows"] == pytest.approx(150.0)
+        assert entry["seconds"] == pytest.approx(1.5)
+        assert entry["samples"] == 2
+
+    def test_corrupt_store_file_starts_empty(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text("{not json", encoding="utf-8")
+        store = CostFeedbackStore(str(path))
+        assert len(store) == 0
+        store.observe("fp", 1, 2, 3)
+        store.save()
+        assert json.loads(path.read_text())["entries"]["fp"]["rows"] == 1
+
+
+class TestExplainAnalyze:
+    def test_render_joins_est_and_measured(self):
+        middleware = fresh_middleware()
+        report, text = profile_evaluation(middleware, {"date": "d1"})
+        assert "EXPLAIN ANALYZE" in text
+        assert "rows est/act" in text
+        assert "summary:" in text
+        assert f"{report.node_count} node(s)" in text
+        profiled = build_profile(middleware._last_graph,
+                                 middleware._last_estimates,
+                                 middleware._last_result.timings)
+        assert profiled
+        rendered_names = text
+        for node in profiled:
+            assert node.rows_q >= 1.0
+            assert node.seconds_q >= 1.0
+            shown = node.name if len(node.name) <= 37 else node.name[:34]
+            assert shown in rendered_names
+            json.dumps(node.to_dict())
+
+    def test_worst_offenders_flagged_cold(self):
+        middleware = fresh_middleware()
+        _, text = profile_evaluation(middleware, {"date": "d1"})
+        # the untuned model mis-prices the tiny dataset, so a cold run
+        # must flag offenders
+        assert "worst cost-model offenders" in text
+
+    def test_cli_profile_two_runs_learns(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        prom_path = tmp_path / "metrics.prom"
+        code = main(["profile", "--runs", "2",
+                     "--ledger", str(ledger_path),
+                     "--prometheus", str(prom_path),
+                     "--json", str(tmp_path / "profile.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- run 1/2 --" in out and "-- run 2/2 --" in out
+        assert "EXPLAIN ANALYZE" in out
+        assert "cost feedback: ON" in out
+        records = RunLedger(str(ledger_path)).records()
+        assert len(records) == 2
+        assert records[0]["plan_fingerprint"] == \
+            records[1]["plan_fingerprint"]
+        prom = prom_path.read_text()
+        assert "repro_evaluation_latency_seconds" in prom
+        payload = json.loads((tmp_path / "profile.json").read_text())
+        assert payload["nodes"]
+        assert payload["calibration"]["seconds_q_error"]["median"] < 2.0
+
+    def test_cli_explain_analyze(self, capsys):
+        assert main(["explain", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "AIG middleware plan" in out
+        assert "EXPLAIN ANALYZE" in out
+
+
+class TestPrometheusExport:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        tracer = Tracer()
+        middleware = fresh_middleware(tracer=tracer, workers=4)
+        middleware.evaluate({"date": "d1"})
+        return tracer
+
+    def test_counter_gauge_summary_families(self, traced_run):
+        text = prometheus_text(traced_run)
+        assert "# TYPE repro_queries_executed_total counter" in text
+        assert "# TYPE repro_qdg_nodes gauge" in text
+        assert "# TYPE repro_evaluation_latency_seconds summary" in text
+        assert "# TYPE repro_node_latency_seconds summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{quantile}"' in text
+        assert "repro_evaluation_latency_seconds_count 1" in text
+        # dotted scopes become labels, keeping one family per base name
+        assert 'repro_lane_busy_seconds_total{scope="DB1"}' in text
+        assert 'scope="DB1",quantile=' in text
+
+    def test_deterministic_and_writable(self, traced_run, tmp_path):
+        first = prometheus_text(traced_run)
+        assert first == prometheus_text(traced_run)
+        path = tmp_path / "metrics.prom"
+        lines = write_prometheus(traced_run, str(path))
+        assert path.read_text() == first
+        assert lines == first.count("\n")

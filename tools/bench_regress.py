@@ -1,0 +1,153 @@
+"""Benchmark regression gate with no third-party dependencies.
+
+The benchmark suite writes machine-readable metrics into the root-level
+``BENCH_*.json`` files, and those files are *committed* — they are the
+perf trajectory of the repo.  This tool compares the freshly-generated
+numbers on disk against the committed baseline (``git show HEAD:<file>``)
+and fails when any metric regresses by more than ``--factor`` (default
+2x, generous because CI machines are noisy — the gate exists to catch
+order-of-magnitude accidents like an O(rows) cost landing on a no-op
+path, not 10% jitter).
+
+Only metrics present in *both* the baseline and the fresh file are
+compared, so adding or removing benchmarks never trips the gate.  The
+comparison direction is inferred from the metric name:
+
+* ``*seconds*``, ``*_ms``, ``*_ns``, ``*wall*``, ``*peak*``,
+  ``*bytes*``, ``*latency*`` — lower is better;
+* ``*speedup*``, ``*per_sec*``, ``*throughput*``, ``*ops*`` — higher is
+  better;
+* anything else (counts like ``spans``, asserted constants like
+  ``bound_ns``, q-errors) is informational and skipped.
+
+Usage (CI runs this right after regenerating the JSON)::
+
+    python tools/bench_regress.py [--factor 2.0] [BENCH_obs.json ...]
+
+With no file arguments, every ``BENCH_*.json`` at the repo root is
+checked.  A file with no committed baseline (first PR that introduces
+it) is reported and skipped, not failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+LOWER_BETTER = re.compile(r"seconds|_ms$|_ns$|wall|peak|bytes|latency")
+HIGHER_BETTER = re.compile(r"speedup|per_sec|throughput|ops")
+SKIP = re.compile(r"bound")
+
+
+def direction(key: str) -> int:
+    """+1 higher-better, -1 lower-better, 0 not comparable."""
+    key = key.lower()
+    if SKIP.search(key):
+        return 0
+    if HIGHER_BETTER.search(key):
+        return 1
+    if LOWER_BETTER.search(key):
+        return -1
+    return 0
+
+
+def flatten(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested dict as dotted-path -> value."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[path] = float(value)
+    return out
+
+
+def baseline_for(relpath: str) -> dict | None:
+    """The committed version of ``relpath``, or None if not in HEAD."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{relpath}"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        parsed = json.loads(blob)
+    except ValueError:
+        return None
+    return parsed if isinstance(parsed, dict) else None
+
+
+def compare(relpath: str, factor: float) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes) for one benchmark JSON file."""
+    fresh_path = os.path.join(REPO_ROOT, relpath)
+    with open(fresh_path, "r", encoding="utf-8") as handle:
+        fresh = flatten(json.load(handle))
+    committed = baseline_for(relpath)
+    if committed is None:
+        return [], [f"{relpath}: no committed baseline — skipped"]
+    baseline = flatten(committed)
+
+    regressions, notes = [], []
+    compared = 0
+    for path in sorted(fresh):
+        if path not in baseline:
+            continue
+        sign = direction(path.rsplit(".", 1)[-1])
+        if sign == 0:
+            continue
+        new, old = fresh[path], baseline[path]
+        compared += 1
+        if sign < 0:
+            bad = old > 0 and new > old * factor
+        else:
+            bad = new > 0 and old > new * factor
+        if bad:
+            regressions.append(
+                f"{relpath}: {path} {'rose' if sign < 0 else 'fell'} "
+                f"{old:g} -> {new:g} (>{factor:g}x)")
+    notes.append(f"{relpath}: {compared} metric(s) within {factor:g}x "
+                 f"of baseline" if not regressions else
+                 f"{relpath}: {len(regressions)} regression(s)")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="benchmark JSON files (default: BENCH_*.json)")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed regression factor (default 2.0)")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(
+        name for name in os.listdir(REPO_ROOT)
+        if name.startswith("BENCH_") and name.endswith(".json"))
+    if not files:
+        print("bench_regress: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+
+    all_regressions: list[str] = []
+    for relpath in files:
+        regressions, notes = compare(relpath, args.factor)
+        all_regressions.extend(regressions)
+        for note in notes:
+            print(note)
+    if all_regressions:
+        print(f"\nFAIL: {len(all_regressions)} benchmark regression(s):",
+              file=sys.stderr)
+        for line in all_regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
