@@ -28,6 +28,12 @@ Commands:
   evaluated under the full configuration grid (conceptual vs. middleware
   × merging × scheduling × workers × incremental × fault-recovery),
   writing a JSON repro file for any divergence (see docs/TESTING.md).
+* ``serve [--host H] [--port P] [--scale S] [--workers N] [--no-merge]
+  [--no-incremental] [--max-inflight N] [--queue-depth N]
+  [--ledger FILE] [--feedback FILE]`` — run the long-lived multi-tenant
+  evaluation service (docs/SERVICE.md): compiled plans, incremental
+  caches, pooled connections, breakers, and cost-feedback state stay
+  warm across HTTP requests; a hospital tenant is pre-registered.
 * ``explain`` — print the optimizer's plan; ``info`` — component inventory.
 
 Every command accepts ``-v/--verbose`` (repeatable) and ``--quiet``, which
@@ -355,6 +361,31 @@ def _fuzz(args) -> int:
     return 0 if diverged == 0 else 1
 
 
+def _serve(args) -> int:
+    from repro.datagen import make_loaded_sources
+    from repro.hospital import build_hospital_aig
+    from repro.service import EvaluationService
+    from repro.service.server import serve_forever
+
+    service = EvaluationService(max_inflight=args.max_inflight,
+                                max_queued=args.queue_depth)
+    aig = build_hospital_aig()
+    sources, _ = make_loaded_sources(args.scale)
+    config = {"merging": not args.no_merge,
+              "incremental": not args.no_incremental,
+              "workers": args.workers,
+              "unfold_depth": "auto"}
+    if args.ledger:
+        config["ledger"] = args.ledger
+    if args.feedback:
+        config["cost_feedback"] = args.feedback
+    state = service.register_tenant("hospital", aig, sources, config)
+    print(f"tenant 'hospital' registered ({args.scale} dataset, "
+          f"plan key {state.plan_key})")
+    serve_forever(service, args.host, args.port)
+    return 0
+
+
 def _faults_value(text: str) -> str:
     """argparse type for ``--faults``: validate the spec grammar early."""
     from repro.errors import SpecError
@@ -555,6 +586,35 @@ def main(argv: list[str] | None = None) -> int:
                       help="directory for repro artifacts "
                            "(default fuzz-repros/)")
     fuzz.set_defaults(handler=_fuzz)
+
+    serve = commands.add_parser(
+        "serve", parents=[common],
+        help="run the long-lived multi-tenant evaluation service "
+             "(docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 = ephemeral; default 8750)")
+    serve.add_argument("--scale", default="tiny",
+                       choices=["tiny", "small", "medium", "large"],
+                       help="dataset scale for the pre-registered "
+                            "hospital tenant")
+    serve.add_argument("--workers", type=_workers_value, default=1,
+                       metavar="N|auto")
+    serve.add_argument("--no-merge", action="store_true")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="disable the cross-request result cache "
+                            "(every request re-executes)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="per-tenant concurrent evaluation quota "
+                            "(default 8)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="per-tenant admission queue beyond the quota; "
+                            "overflow gets 429 (default 64)")
+    serve.add_argument("--ledger", default=None, metavar="FILE",
+                       help="append one JSONL run record per evaluation")
+    serve.add_argument("--feedback", default=None, metavar="FILE",
+                       help="persist the cost-feedback store at FILE")
+    serve.set_defaults(handler=_serve)
 
     info = commands.add_parser("info", parents=[common],
                                help="version and components")

@@ -177,16 +177,20 @@ def _prom_lines(base: str, kind: str, samples: dict) -> list[str]:
     return lines
 
 
-def prometheus_text(tracer: Tracer) -> str:
-    """The tracer's metrics in the Prometheus text exposition format.
+def prometheus_text(tracer) -> str:
+    """The metrics in the Prometheus text exposition format.
 
-    Counters export as ``repro_<name>_total``, gauges as ``repro_<name>``,
-    histograms as Prometheus *summaries*: one ``quantile``-labelled sample
-    per p50/p95/p99 plus ``_sum`` and ``_count``.  Dotted scopes become a
-    ``scope`` label, so ``lane_busy_seconds.DB1`` and the unscoped total
-    stay one metric family.  Output order is deterministic.
+    Accepts a :class:`~repro.obs.tracer.Tracer` *or* a bare
+    :class:`~repro.obs.metrics.MetricsRegistry` (anything with a
+    ``snapshot()``) — the evaluation service scrapes its own registry
+    without a tracer.  Counters export as ``repro_<name>_total``, gauges
+    as ``repro_<name>``, histograms as Prometheus *summaries*: one
+    ``quantile``-labelled sample per p50/p95/p99 plus ``_sum`` and
+    ``_count``.  Dotted scopes become a ``scope`` label, so
+    ``lane_busy_seconds.DB1`` and the unscoped total stay one metric
+    family.  Output order is deterministic.
     """
-    snapshot = tracer.metrics.snapshot()
+    snapshot = getattr(tracer, "metrics", tracer).snapshot()
     lines: list[str] = []
     for base, samples in _grouped(snapshot["counters"]).items():
         lines.extend(_prom_lines(f"{base}_total", "counter", samples))
@@ -209,7 +213,7 @@ def prometheus_text(tracer: Tracer) -> str:
     return "\n".join(lines) + "\n"
 
 
-def write_prometheus(tracer: Tracer, path: str) -> int:
+def write_prometheus(tracer, path: str) -> int:
     """Write :func:`prometheus_text` to ``path``; returns the line count."""
     text = prometheus_text(tracer)
     with open(path, "w", encoding="utf-8") as handle:

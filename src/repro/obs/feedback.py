@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import tempfile
 import threading
 
 from repro.runtime.incremental import structural_fingerprint
@@ -77,17 +78,38 @@ class CostFeedbackStore:
                          for key, value in entries.items()}
 
     def save(self, path: str | None = None) -> str:
-        """Atomically write the store as sorted-key JSON; returns the path."""
+        """Atomically write the store as sorted-key JSON; returns the path.
+
+        The snapshot is deep-copied *under the lock* — a concurrent
+        ``observe_run`` mutating an entry while ``json.dump`` walks it
+        would otherwise tear the written values — and lands in a unique
+        temp file in the destination directory, so two concurrent savers
+        can never truncate each other's half-written file through a
+        shared ``.tmp`` name; whichever ``os.replace`` runs last wins
+        whole.
+        """
         path = path or self.path
         if path is None:
             raise ValueError("no path given and store has none")
         with self._lock:
-            payload = {"alpha": self.alpha, "entries": dict(self._entries)}
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+            payload = {"alpha": self.alpha,
+                       "entries": {key: dict(entry)
+                                   for key, entry in self._entries.items()}}
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
     # -- writers --------------------------------------------------------
@@ -130,7 +152,8 @@ class CostFeedbackStore:
                                   + timing.overhead_seconds))
             absorbed += 1
         if absorbed:
-            self.generation += 1
+            with self._lock:
+                self.generation += 1
             if self.path is not None:
                 self.save()
         return absorbed

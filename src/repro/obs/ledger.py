@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 import time
 
 from repro.runtime.incremental import plan_fingerprint, structural_fingerprint
@@ -68,6 +69,11 @@ class RunLedger:
         self.path = path
         self.max_bytes = max_bytes
         self.backups = backups
+        # Serializes size-check → rotate → append across threads sharing
+        # this instance; without it two writers can both decide to rotate
+        # and the second os.replace chain drops the records the first
+        # just wrote into the fresh file.
+        self._lock = threading.Lock()
 
     # -- writing --------------------------------------------------------
     def append(self, record: dict) -> dict:
@@ -76,30 +82,45 @@ class RunLedger:
         Rotates first when the line would push the current file past
         ``max_bytes``.  Returns the record (with ``schema`` and
         ``timestamp`` filled in if absent).
+
+        Thread-safe: the size-check/rotate/write sequence runs under an
+        instance lock, and the line lands in a single ``os.write`` on an
+        ``O_APPEND`` descriptor — so concurrent writers (including other
+        processes appending to the same path) interleave whole records,
+        never bytes.
         """
         record.setdefault("schema", SCHEMA_VERSION)
         record.setdefault("timestamp", round(time.time(), 3))
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
-        try:
-            size = os.path.getsize(self.path)
-        except OSError:
-            size = 0
-        if size and size + len(line) > self.max_bytes:
-            self._rotate()
-            size = 0
-        with open(self.path, "a+b") as handle:
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size and size + len(data) > self.max_bytes:
+                self._rotate()
+                size = 0
             if size:
                 # Heal a torn previous append (crash mid-write left no
                 # trailing newline): start this record on its own line so
                 # only the torn record is lost, not this one too.
-                handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line.encode("utf-8"))
+                with open(self.path, "rb") as handle:
+                    handle.seek(-1, os.SEEK_END)
+                    torn = handle.read(1) != b"\n"
+                if torn:
+                    data = b"\n" + data
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
         return record
 
     def _rotate(self) -> None:
+        # Caller holds self._lock.
         if self.backups == 0:
             os.remove(self.path)
             return

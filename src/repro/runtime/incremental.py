@@ -185,6 +185,44 @@ def plan_fingerprint(graph) -> str:
     return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
+def aig_fingerprint(aig) -> str:
+    """Structural hash of a whole AIG *specification*.
+
+    Covers everything that shapes compilation — DTD productions and root,
+    attribute schemas, rules, guards, constraints, internal states, and
+    the catalog's source schemas — and nothing about the data.  Two
+    structurally identical AIG objects (e.g. rebuilt from the same fuzz
+    :class:`~repro.fuzz.spec.ScenarioSpec`, or registered by two tenants)
+    fingerprint identically, which is how the evaluation service
+    (:mod:`repro.service`) keys shared ``Middleware`` instances.
+    """
+    parts: list = ["dtd-root", aig.dtd.root]
+    for element_type in sorted(aig.dtd.productions):
+        parts.append((element_type, repr(aig.dtd.productions[element_type])))
+    parts.append("inh")
+    for element_type in sorted(aig.inh_schemas):
+        parts.append((element_type, repr(aig.inh_schemas[element_type])))
+    parts.append("syn")
+    for element_type in sorted(aig.syn_schemas):
+        parts.append((element_type, repr(aig.syn_schemas[element_type])))
+    parts.append("rules")
+    for element_type in sorted(aig.rules):
+        parts.append((element_type, repr(aig.rules[element_type])))
+    parts.append("guards")
+    for element_type in sorted(aig.guards):
+        parts.append((element_type,
+                      tuple(repr(guard)
+                            for guard in aig.guards[element_type])))
+    parts.append("constraints")
+    parts.extend(repr(constraint) for constraint in aig.constraints)
+    parts.append("internal")
+    parts.extend(sorted(aig.internal_states))
+    parts.append("catalog")
+    for name in sorted(aig.catalog.source_names):
+        parts.append(repr(aig.catalog.source(name)))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
 def plan_increment(graph, entries: dict, fingerprints: dict
                    ) -> IncrementalPlan:
     """Split the graph into a reusable (clean) set and a tainted cone.

@@ -21,6 +21,7 @@ depth, mirroring the paper's runtime re-unrolling loop.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -233,6 +234,25 @@ class Middleware:
         self.ledger = ledger
         #: Connections pre-leased for a whole batch (``evaluate_batch``).
         self._preleased: dict = {}
+        #: Concurrency control (docs/SERVICE.md).  ``_prepare_lock`` guards
+        #: the prepared-plan cache: the check-then-insert and the
+        #: stale-generation sweep must be atomic or two concurrent callers
+        #: duplicate optimization work and interleave ``del``/insert.
+        #: ``_run_lock`` serializes the execution+tagging phase — sources
+        #: are *single-flight* (one query at a time, see
+        #: :class:`~repro.relational.source.DataSource`), the engine's
+        #: mediator cache tables are named per-run, and the incremental
+        #: result caches are committed mid-run, so overlapping executions
+        #: on one instance would corrupt each other.  Reentrant so
+        #: ``evaluate_batch`` can hold it across its member evaluations.
+        self._prepared: dict = {}
+        self._prepare_lock = threading.Lock()
+        self._run_lock = threading.RLock()
+        #: Optimization passes actually executed (cache misses in
+        #: :meth:`prepare`).  A counting hook for tests and the service
+        #: layer: under concurrent reuse this must grow once per distinct
+        #: ``(depth, feedback generation)``, never once per caller.
+        self.prepare_count = 0
 
     def _on_breaker_transition(self, source: str, old: str,
                                new: str) -> None:
@@ -241,33 +261,50 @@ class Middleware:
         self.tracer.metrics.add(f"breaker_transitions.{source}", 1)
 
     # ------------------------------------------------------------------
-    def evaluate(self, root_inh: dict) -> ExecutionReport:
+    def evaluate(self, root_inh: dict, tracer=None) -> ExecutionReport:
         """Generate the document; raises
-        :class:`~repro.errors.EvaluationAborted` on constraint violation."""
+        :class:`~repro.errors.EvaluationAborted` on constraint violation.
+
+        Safe to call from concurrent threads on one shared instance: plan
+        preparation is shared (and never duplicated) across callers, while
+        execution+tagging serializes on the run lock — sources are
+        single-flight and the incremental caches commit mid-run, so
+        overlapping executions would corrupt each other.  ``tracer``
+        (optional) records this call's spans/metrics into a per-request
+        tracer instead of the instance-wide one, so per-run gauges
+        (``qdg_nodes``, ``document_nodes``, ...) are never clobbered by a
+        concurrent caller's run.
+        """
         from repro.errors import RecursionTruncated
+        tracer = self.tracer if tracer is None else tracer
         recursive = bool(recursive_types(self.aig.dtd))
         depth = self._initial_depth() if recursive else None
-        while True:
-            try:
-                report = self._evaluate_at_depth(root_inh, depth)
-            except RecursionTruncated:
-                # A choice branch was cut off below the estimate: deepen
-                # (the choice analogue of the star-rule blocked-query test).
-                report = None
-            if report is not None and (
-                    not recursive or not self._needs_deeper(report, depth)):
-                return report
-            logger.warning("recursion deeper than unfolding estimate %s; "
-                           "re-unrolling at depth %s", depth, depth * 2)
-            self.tracer.metrics.add("recursion_reunrollings", 1)
-            depth = depth * 2
-            if depth > self.max_unfold_depth:
-                raise RecursionDepthExceeded(
-                    f"recursion deeper than max_unfold_depth="
-                    f"{self.max_unfold_depth}")
+        with self._run_lock:
+            while True:
+                try:
+                    report = self._evaluate_at_depth(root_inh, depth, tracer)
+                except RecursionTruncated:
+                    # A choice branch was cut off below the estimate: deepen
+                    # (the choice analogue of the star-rule blocked-query
+                    # test).
+                    report = None
+                if report is not None and (
+                        not recursive
+                        or not self._needs_deeper(report, depth)):
+                    return report
+                logger.warning("recursion deeper than unfolding estimate "
+                               "%s; re-unrolling at depth %s", depth,
+                               depth * 2)
+                tracer.metrics.add("recursion_reunrollings", 1)
+                depth = depth * 2
+                if depth > self.max_unfold_depth:
+                    raise RecursionDepthExceeded(
+                        f"recursion deeper than max_unfold_depth="
+                        f"{self.max_unfold_depth}")
 
     def evaluate_stream(self, root_inh: dict, write, indent: int | None = None,
-                        constraints: list | None = None) -> StreamReport:
+                        constraints: list | None = None,
+                        tracer=None) -> StreamReport:
         """Generate the document as a byte stream through ``write``.
 
         The tagging phase runs as a sort-merge event stream
@@ -286,37 +323,41 @@ class Middleware:
         be retracted the way an unfinished tree can.  Incremental reuse is
         skipped: splicing memoized subtrees requires a materialized tree.
         """
+        tracer = self.tracer if tracer is None else tracer
         recursive = bool(recursive_types(self.aig.dtd))
         depth = self._initial_depth() if recursive else None
-        while True:
-            report = self._stream_at_depth(root_inh, depth, write, indent,
-                                           constraints, recursive)
-            if report is not None:
-                return report
-            logger.warning("recursion deeper than unfolding estimate %s; "
-                           "re-unrolling at depth %s", depth, depth * 2)
-            self.tracer.metrics.add("recursion_reunrollings", 1)
-            depth = depth * 2
-            if depth > self.max_unfold_depth:
-                raise RecursionDepthExceeded(
-                    f"recursion deeper than max_unfold_depth="
-                    f"{self.max_unfold_depth}")
+        with self._run_lock:
+            while True:
+                report = self._stream_at_depth(root_inh, depth, write,
+                                               indent, constraints,
+                                               recursive, tracer)
+                if report is not None:
+                    return report
+                logger.warning("recursion deeper than unfolding estimate "
+                               "%s; re-unrolling at depth %s", depth,
+                               depth * 2)
+                tracer.metrics.add("recursion_reunrollings", 1)
+                depth = depth * 2
+                if depth > self.max_unfold_depth:
+                    raise RecursionDepthExceeded(
+                        f"recursion deeper than max_unfold_depth="
+                        f"{self.max_unfold_depth}")
 
     def _stream_at_depth(self, root_inh: dict, depth: int | None, write,
                          indent: int | None, constraints: list | None,
-                         recursive: bool) -> StreamReport | None:
+                         recursive: bool, tracer=None) -> StreamReport | None:
         from repro.errors import RecursionTruncated
         from repro.dtd.analysis import base_name
         from repro.constraints import StreamingConstraintChecker
         from repro.xmlmodel.serialize import StreamSerializer
         from repro.runtime.tagging import NullEventSink, stream_document
 
-        tracer = self.tracer
+        tracer = self.tracer if tracer is None else tracer
         metrics_before = (tracer.metrics.snapshot()
                           if self.ledger is not None else None)
         with tracer.span("evaluate-stream", "pipeline", depth=depth):
             graph, plan, tagging_plan, estimated_cost, estimates = \
-                self.prepare(depth)
+                self.prepare(depth, tracer=tracer)
             scheduler = None
             if self.scheduling == "dynamic":
                 from repro.runtime.dynamic import DynamicScheduler
@@ -388,7 +429,8 @@ class Middleware:
                            "unfold_depth": depth},
                 document_bytes=serializer.characters,
                 violations=list(result.violations) + list(stream_violations),
-                extra={"streamed_elements": elements})
+                extra={"streamed_elements": elements},
+                tracer=tracer)
         return StreamReport(
             response_time=result.response_time,
             estimated_cost=estimated_cost,
@@ -420,7 +462,7 @@ class Middleware:
                                              self.max_unfold_depth)
         return estimated if estimated else 4
 
-    def prepare(self, depth: int | None = None):
+    def prepare(self, depth: int | None = None, tracer=None):
         """Pre-processing + optimization only: returns (graph, plan,
         tagging plan, estimated cost, estimates).
 
@@ -429,20 +471,32 @@ class Middleware:
         *daily* reports) pays for optimization once.  With a cost-feedback
         store attached, the cache key also carries the store's generation:
         the plan is re-optimized exactly when new measurements arrived.
+
+        Thread-safe: the cache probe, the stale-generation sweep, and the
+        insert run under ``_prepare_lock``, so concurrent callers of a
+        shared middleware never duplicate optimization work (asserted via
+        :attr:`prepare_count`) and never interleave the sweep's ``del``
+        with another caller's insert.  ``tracer`` (optional) scopes this
+        call's spans and gauges to a per-request tracer instead of the
+        instance-wide one — see docs/SERVICE.md.
         """
-        if not hasattr(self, "_prepared"):
-            self._prepared = {}
+        tracer = self.tracer if tracer is None else tracer
         generation = (self.cost_feedback.generation
                       if self.cost_feedback is not None else None)
         key = (depth, generation)
-        if key not in self._prepared:
+        entry = self._prepared.get(key)
+        if entry is not None:
+            return entry
+        with self._prepare_lock:
+            entry = self._prepared.get(key)
+            if entry is not None:
+                return entry
             # Stale generations of the same depth are never consulted
             # again — drop them so feedback-driven re-prepares don't grow
             # the cache without bound.
-            for stale in [entry for entry in self._prepared
-                          if entry[0] == depth]:
+            for stale in [item for item in self._prepared
+                          if item[0] == depth]:
                 del self._prepared[stale]
-            tracer = self.tracer
             working = self.aig
             if depth is not None:
                 with tracer.span("unfold", "unfold", depth=depth):
@@ -482,9 +536,10 @@ class Middleware:
             logger.info("prepared plan (depth=%s): %d node(s), predicted "
                         "cost %.3fs, merging %s", depth, len(graph), cost,
                         "on" if self.merging else "off")
-            self._prepared[key] = (graph, plan, tagging_plan, cost,
-                                   estimates)
-        return self._prepared[key]
+            entry = (graph, plan, tagging_plan, cost, estimates)
+            self._prepared[key] = entry
+            self.prepare_count += 1
+            return entry
 
     def invalidate_plans(self) -> None:
         """Drop cached plans, incremental result caches, and any cached
@@ -498,18 +553,25 @@ class Middleware:
         strand ``cache_N`` tables that would otherwise outlive every
         re-prepare; the mediator has no base relations, so every table
         found there is disposable.
-        """
-        self._prepared = {}
-        self._result_caches = {}
-        for table in self.mediator.table_names():
-            try:
-                self.mediator.drop_table(table)
-            except EvaluationError as error:
-                logger.warning("invalidate_plans: dropping mediator table "
-                               "%r failed: %s", table, error)
 
-    def evaluate_batch(self, root_inh_values: list[dict]
-                       ) -> list[ExecutionReport]:
+        Takes the run lock first: an invalidation issued while another
+        thread is mid-evaluation waits for that run to finish instead of
+        sweeping the mediator tables (and result caches) out from under
+        it.
+        """
+        with self._run_lock:
+            with self._prepare_lock:
+                self._prepared = {}
+            self._result_caches = {}
+            for table in self.mediator.table_names():
+                try:
+                    self.mediator.drop_table(table)
+                except EvaluationError as error:
+                    logger.warning("invalidate_plans: dropping mediator "
+                                   "table %r failed: %s", table, error)
+
+    def evaluate_batch(self, root_inh_values: list[dict],
+                       tracer=None) -> list[ExecutionReport]:
         """Evaluate many root attributes against one prepared plan.
 
         The paper's scenario is a *daily* report: same AIG, same sources,
@@ -518,15 +580,21 @@ class Middleware:
         mediator connection is leased once for the whole batch — every
         entry's engine runs its mediator-side nodes over the same pooled
         connection instead of re-acquiring per evaluation.
+
+        Holds the run lock across the whole batch (it is reentrant, so the
+        member evaluations nest): ``_preleased`` is instance state, and a
+        concurrent ``evaluate`` interleaving with the batch would ride the
+        batch's mediator lease from another thread.
         """
-        lease = self.mediator.acquire_connection()
-        self._preleased = {MEDIATOR_NAME: lease}
-        try:
-            return [self.evaluate(dict(values))
-                    for values in root_inh_values]
-        finally:
-            self._preleased = {}
-            self.mediator.release_connection(lease)
+        with self._run_lock:
+            lease = self.mediator.acquire_connection()
+            self._preleased = {MEDIATOR_NAME: lease}
+            try:
+                return [self.evaluate(dict(values), tracer=tracer)
+                        for values in root_inh_values]
+            finally:
+                self._preleased = {}
+                self.mediator.release_connection(lease)
 
     def explain(self, depth: int | None = None) -> str:
         """A human-readable report of the optimization decisions.
@@ -575,24 +643,35 @@ class Middleware:
         if self.incremental:
             lines.append("")
             lines.append("-- incremental cache state --")
-            store = self._result_caches.get(depth)
-            if (store is None or not store.entries
-                    or not hasattr(self, "_last_root_inh")):
-                lines.append("  (cache cold: no committed evaluation at "
-                             "this depth yet)")
-            else:
-                fingerprints = compute_fingerprints(graph, self.sources,
-                                                    self._last_root_inh)
-                increment = plan_increment(graph, store.entries,
-                                           fingerprints)
-                for node in graph.topological_order():
-                    state = ("cached " if node.name in increment.reusable
-                             else "TAINTED")
-                    lines.append(f"  [{state}] {node.name} @{node.source}")
-                lines.append(f"  {len(increment.reusable)} node(s) "
-                             f"reusable, {len(increment.tainted)} tainted "
-                             f"(vs last evaluation's root attributes)")
+            # Run lock: a concurrent evaluation must not swap the result
+            # caches (or the last root attributes) mid-report.
+            self._run_lock.acquire()
+            try:
+                lines.extend(self._explain_cache_state(depth, graph))
+            finally:
+                self._run_lock.release()
         return "\n".join(lines)
+
+    def _explain_cache_state(self, depth, graph) -> list[str]:
+        lines: list[str] = []
+        store = self._result_caches.get(depth)
+        if (store is None or not store.entries
+                or not hasattr(self, "_last_root_inh")):
+            lines.append("  (cache cold: no committed evaluation at "
+                         "this depth yet)")
+        else:
+            fingerprints = compute_fingerprints(graph, self.sources,
+                                                self._last_root_inh)
+            increment = plan_increment(graph, store.entries,
+                                       fingerprints)
+            for node in graph.topological_order():
+                state = ("cached " if node.name in increment.reusable
+                         else "TAINTED")
+                lines.append(f"  [{state}] {node.name} @{node.source}")
+            lines.append(f"  {len(increment.reusable)} node(s) "
+                         f"reusable, {len(increment.tainted)} tainted "
+                         f"(vs last evaluation's root attributes)")
+        return lines
 
     def calibration_report(self):
         """Modeled-vs-measured cost report for the most recent evaluation.
@@ -615,15 +694,15 @@ class Middleware:
                                  self._last_result.timings)
 
     # ------------------------------------------------------------------
-    def _evaluate_at_depth(self, root_inh: dict,
-                           depth: int | None) -> ExecutionReport:
-        tracer = self.tracer
+    def _evaluate_at_depth(self, root_inh: dict, depth: int | None,
+                           tracer=None) -> ExecutionReport:
+        tracer = self.tracer if tracer is None else tracer
         metrics_before = (tracer.metrics.snapshot()
                           if self.ledger is not None else None)
         with tracer.span("evaluate", "pipeline", depth=depth):
             optimization_started = time.perf_counter()
             graph, plan, tagging_plan, estimated_cost, estimates = \
-                self.prepare(depth)
+                self.prepare(depth, tracer=tracer)
             optimization_seconds = (time.perf_counter()
                                     - optimization_started)
             scheduler = None
@@ -723,7 +802,8 @@ class Middleware:
                 violations=result.violations,
                 extra={"reused_nodes": result.reused_nodes,
                        "tainted_nodes": (len(increment.tainted)
-                                         if increment is not None else 0)})
+                                         if increment is not None else 0)},
+                tracer=tracer)
         return ExecutionReport(
             document=document,
             response_time=result.response_time,
@@ -769,9 +849,10 @@ class Middleware:
 
     def _record_run(self, kind: str, graph, result, metrics_before,
                     plan_info: dict, document_bytes: int,
-                    violations: list, extra: dict) -> None:
+                    violations: list, extra: dict, tracer=None) -> None:
         """Append one run record to the attached ledger."""
         from repro.obs.ledger import build_run_record, metrics_delta
+        tracer = self.tracer if tracer is None else tracer
         run_info = {
             "measured_seconds": round(result.measured_seconds, 6),
             "queries_executed": result.queries_executed,
@@ -788,7 +869,7 @@ class Middleware:
             plan_info=plan_info,
             run_info=run_info,
             metrics=metrics_delta(metrics_before,
-                                  self.tracer.metrics.snapshot()),
+                                  tracer.metrics.snapshot()),
             constraints=constraint_records)
         self.ledger.append(record)
 

@@ -1,0 +1,128 @@
+"""Admission control: per-tenant in-flight quotas with bounded queueing.
+
+Sources are single-flight (one query at a time per
+:class:`~repro.relational.source.DataSource`), so a tenant's middleware
+serializes execution on its run lock.  Unbounded acceptance would let a
+burst pile hundreds of threads onto that lock — each holding a socket
+and a request body — until the process thrashes.  The admission
+controller caps the damage the way a load balancer would:
+
+* up to ``max_inflight`` evaluations per tenant run (or hold the run
+  lock) concurrently;
+* up to ``max_queued`` more wait on the tenant's condition variable;
+* anything beyond that is rejected *immediately* with
+  :class:`AdmissionRejected` — the HTTP layer turns that into a 429 with
+  ``Retry-After`` — so overload sheds in microseconds instead of
+  accumulating latency.
+
+The gate meters **evaluations**, not connections: the service runs the
+request coalescer *outside* admission, so of a thousand identical warm
+requests only the leader takes a slot — followers park on the flight's
+event, which costs no quota and no condition-variable traffic.  Each
+tenant has its own condition and every release wakes exactly one waiter;
+with hundreds queued, a shared ``notify_all`` gate measurably collapses
+under its own wakeup storm (every release scanning every waiter).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class AdmissionRejected(Exception):
+    """Raised on immediate rejection (queue full); maps to HTTP 429."""
+
+    def __init__(self, tenant: str, inflight: int, queued: int):
+        self.tenant = tenant
+        self.inflight = inflight
+        self.queued = queued
+        super().__init__(
+            f"tenant {tenant!r} over capacity: {inflight} in flight, "
+            f"{queued} queued")
+
+
+class _TenantGate:
+    __slots__ = ("cond", "inflight", "queued")
+
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.inflight = 0
+        self.queued = 0
+
+
+class AdmissionController:
+    """Per-tenant concurrency gate shared by every service request."""
+
+    def __init__(self, max_inflight: int = 8, max_queued: int = 64):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight!r}")
+        if max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {max_queued!r}")
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self._lock = threading.Lock()
+        self._gates: dict[str, _TenantGate] = {}
+
+    def _gate(self, tenant: str) -> _TenantGate:
+        with self._lock:
+            return self._gates.setdefault(tenant, _TenantGate())
+
+    def admit(self, tenant: str) -> None:
+        """Block until a slot frees, or raise :class:`AdmissionRejected`
+        without blocking when the queue is already full."""
+        gate = self._gate(tenant)
+        with gate.cond:
+            if gate.inflight < self.max_inflight:
+                gate.inflight += 1
+                return
+            if gate.queued >= self.max_queued:
+                raise AdmissionRejected(tenant, gate.inflight, gate.queued)
+            gate.queued += 1
+            try:
+                while gate.inflight >= self.max_inflight:
+                    gate.cond.wait()
+            finally:
+                gate.queued -= 1
+            gate.inflight += 1
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            gate = self._gates.get(tenant)
+        if gate is None:
+            raise RuntimeError(
+                f"release without admit for tenant {tenant!r}")
+        with gate.cond:
+            if gate.inflight == 0:
+                raise RuntimeError(
+                    f"release without admit for tenant {tenant!r}")
+            gate.inflight -= 1
+            # exactly one slot freed -> exactly one wakeup; notify_all
+            # here is the thundering herd the module docstring warns
+            # about
+            gate.cond.notify(1)
+
+    @contextmanager
+    def slot(self, tenant: str):
+        """``with controller.slot(name): ...`` — admit + guaranteed
+        release."""
+        self.admit(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+    def snapshot(self) -> dict:
+        """Per-tenant ``{"inflight": n, "queued": m}``, active gates only
+        (for /health)."""
+        with self._lock:
+            gates = dict(self._gates)
+        out = {}
+        for tenant, gate in sorted(gates.items()):
+            with gate.cond:
+                if gate.inflight or gate.queued:
+                    out[tenant] = {"inflight": gate.inflight,
+                                   "queued": gate.queued}
+        return out

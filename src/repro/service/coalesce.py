@@ -1,0 +1,80 @@
+"""Single-flight request coalescing.
+
+A warm service spends most of its time answering the *same* question:
+the paper's daily-report workload means thousands of users request the
+identical document between data deltas.  Two concurrent requests whose
+coalescing key matches — same plan key, same root attributes, same
+source version vector (see
+:meth:`repro.service.registry.TenantState.coalesce_key`) — are provably
+asking for byte-identical output, so only the first (the *leader*)
+evaluates; every *follower* that arrives while the leader is in flight
+parks on an event and receives the leader's result object.
+
+The key includes the version vector captured at arrival, so a delta
+ingested mid-flight starts a new key rather than riding an in-progress
+evaluation of the old data.  Leader failures propagate: followers
+re-raise the leader's exception, they never silently retry.
+
+This is deliberately generic (``run(key, compute)``), so tests can
+coalesce arbitrary computations; the service passes a closure that
+evaluates and serializes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class _Flight:
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class RequestCoalescer:
+    """Key -> in-flight computation map with leader/follower sharing."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict = {}
+
+    def run(self, key, compute):
+        """Run ``compute()`` once per concurrent ``key``.
+
+        Returns ``(result, coalesced)``: ``coalesced`` is False for the
+        leader that actually computed and True for followers that shared
+        the leader's flight.  The leader's exception (if any) is
+        re-raised in every waiter.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                flight.followers += 1
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, True
+        try:
+            flight.result = compute()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.result, False
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._flights)

@@ -1,0 +1,171 @@
+"""Per-tenant middleware registry for the evaluation service.
+
+A *tenant* is one (AIG, sources, middleware-config) triple — e.g. the
+hospital scenario at scale ``small`` with incremental re-evaluation on.
+The registry keeps one :class:`~repro.runtime.Middleware` per tenant,
+keyed by the **plan key**: the structural
+:func:`~repro.runtime.incremental.aig_fingerprint` of the AIG joined
+with a hash of the middleware knobs.  Re-registering a tenant with a
+structurally identical AIG and the same config therefore reuses the
+existing instance — prepared plans, incremental caches, pooled
+connections, breaker state, and cost-feedback generations all stay warm
+— while a changed grammar or config swaps in a fresh instance.
+
+The plan key also feeds the request coalescer
+(:mod:`repro.service.coalesce`): together with the root attributes and
+the :func:`version_vector` of every base relation it identifies a
+request whose bytes are fully determined, which is exactly when two
+concurrent requests may share one evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+
+from repro.errors import EvaluationError
+from repro.runtime.incremental import aig_fingerprint
+from repro.runtime.middleware import Middleware
+
+#: Middleware knobs a tenant may set at registration; anything else in
+#: the config payload is rejected so typos fail loudly, not silently.
+ALLOWED_CONFIG = (
+    "merging", "scheduling", "workers", "unfold_depth", "max_unfold_depth",
+    "violation_mode", "incremental", "pushdown", "columnar",
+    "query_overhead", "on_source_failure", "deadline", "retry_policy",
+    "breaker_policy", "cost_feedback", "ledger",
+)
+
+#: Service defaults: incremental on (warm requests replay caches) and one
+#: worker lane (sources are single-flight; parallelism comes from
+#: multiple tenants plus coalescing, see docs/SERVICE.md).
+DEFAULT_CONFIG = {"incremental": True, "workers": 1}
+
+
+def config_key(config: dict) -> str:
+    """Stable hash of a middleware config (JSON-canonical, sorted)."""
+    encoded = json.dumps(
+        {key: repr(value) for key, value in config.items()},
+        sort_keys=True)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def version_vector(sources: dict) -> tuple:
+    """Sorted ``(source, relation, version)`` snapshot of every base
+    relation — the data-identity half of a coalescing key.  Any load on
+    any base table changes the vector, so a delta can never be served a
+    pre-delta coalesced result."""
+    vector = []
+    for name in sorted(sources):
+        for relation, version in sorted(
+                sources[name].table_versions().items()):
+            vector.append((name, relation, version))
+    return tuple(vector)
+
+
+class TenantState:
+    """One registered tenant: its scenario, middleware, and identity."""
+
+    def __init__(self, name: str, aig, sources: dict, config: dict):
+        self.name = name
+        self.aig = aig
+        self.sources = sources
+        self.config = dict(config)
+        self.fingerprint = aig_fingerprint(aig)
+        self.plan_key = (f"{self.fingerprint[:16]}:"
+                         f"{config_key(self.config)[:16]}")
+        merged = dict(DEFAULT_CONFIG)
+        merged.update(self.config)
+        self.middleware = Middleware(aig, sources, **merged)
+
+    def coalesce_key(self, root_inh: dict, indent: int | None) -> tuple:
+        """Identity of one request's bytes: tenant + plan + inputs +
+        data state.
+
+        The tenant name leads the key: two tenants can share a plan key
+        (identical AIG and config) and even a version vector (same load
+        history) while holding different rows, so neither coalescing nor
+        the response cache may ever bridge tenants."""
+        return (self.name,
+                self.plan_key,
+                tuple(sorted((str(k), str(v))
+                             for k, v in root_inh.items())),
+                version_vector(self.sources),
+                indent)
+
+    def describe(self) -> dict:
+        """JSON-safe summary for ``GET /tenants``."""
+        middleware = self.middleware
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "plan_key": self.plan_key,
+            "sources": sorted(self.sources),
+            "prepared_plans": len(middleware._prepared),
+            "prepare_count": middleware.prepare_count,
+            "incremental": middleware.incremental,
+            "workers": middleware.workers,
+            "breakers": (middleware.breakers.states()
+                         if middleware.breakers is not None else {}),
+        }
+
+
+class TenantRegistry:
+    """Thread-safe name -> :class:`TenantState` map with warm reuse."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantState] = {}
+
+    def register(self, name: str, aig, sources: dict,
+                 config: dict | None = None) -> TenantState:
+        """Create (or warm-reuse) a tenant.
+
+        When ``name`` is already registered with a structurally identical
+        AIG and the same config — same plan key — the existing state is
+        returned untouched: its prepared plans and caches stay warm.  A
+        different plan key replaces the tenant with a fresh instance.
+        """
+        config = dict(config or {})
+        unknown = sorted(set(config) - set(ALLOWED_CONFIG))
+        if unknown:
+            raise EvaluationError(
+                f"unknown middleware config key(s): {', '.join(unknown)}")
+        candidate = TenantState(name, aig, sources, config)
+        with self._lock:
+            existing = self._tenants.get(name)
+            if (existing is not None
+                    and existing.plan_key == candidate.plan_key):
+                return existing
+            self._tenants[name] = candidate
+            return candidate
+
+    def get(self, name: str) -> TenantState:
+        with self._lock:
+            state = self._tenants.get(name)
+        if state is None:
+            raise KeyError(name)
+        return state
+
+    def remove(self, name: str) -> bool:
+        with self._lock:
+            return self._tenants.pop(name, None) is not None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            states = list(self._tenants.values())
+        return [state.describe() for state in
+                sorted(states, key=lambda s: s.name)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants

@@ -1,0 +1,515 @@
+"""The multi-tenant evaluation service (docs/SERVICE.md).
+
+Covers the orchestration core (registry keying, admission quotas,
+coalescing) and the full HTTP surface over a real threaded server on an
+ephemeral port: tenancy CRUD, evaluation byte-identity vs an in-process
+``Middleware.evaluate``, streaming, delta ingestion, 429 shedding, and
+the metrics endpoints.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datagen import make_loaded_sources
+from repro.hospital import build_hospital_aig
+from repro.relational import Network
+from repro.runtime import Middleware
+from repro.runtime.incremental import aig_fingerprint
+from repro.service import (
+    AdmissionController,
+    AdmissionRejected,
+    EvaluationService,
+    RequestCoalescer,
+    TenantRegistry,
+)
+from repro.service.registry import version_vector
+from repro.service.server import start_background
+from repro.xmlmodel.serialize import serialize
+
+
+# ----------------------------------------------------------------------
+# unit layers
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_quota_and_fast_rejection(self):
+        controller = AdmissionController(max_inflight=2, max_queued=1)
+        controller.admit("t")
+        controller.admit("t")
+        release = threading.Event()
+        queued_in = threading.Event()
+
+        def queued():
+            queued_in.set()
+            with controller.slot("t"):
+                release.wait()
+
+        waiter = threading.Thread(target=queued, daemon=True)
+        waiter.start()
+        queued_in.wait()
+        deadline = time.time() + 2
+        while (controller.snapshot().get("t", {}).get("queued", 0) < 1
+               and time.time() < deadline):
+            time.sleep(0.005)
+        # inflight full, queue full -> immediate 429-style rejection
+        with pytest.raises(AdmissionRejected):
+            controller.admit("t")
+        controller.release("t")   # waiter takes the freed slot
+        release.set()
+        controller.release("t")
+        waiter.join(timeout=5)
+        assert not waiter.is_alive()
+
+    def test_tenants_isolated(self):
+        controller = AdmissionController(max_inflight=1, max_queued=0)
+        controller.admit("a")
+        controller.admit("b")  # b's quota is its own
+        with pytest.raises(AdmissionRejected):
+            controller.admit("a")
+        controller.release("a")
+        controller.release("b")
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            controller.release("ghost")
+
+
+class TestCoalescer:
+    def test_concurrent_identical_keys_share_one_computation(self):
+        coalescer = RequestCoalescer()
+        calls = []
+        barrier = threading.Barrier(6)
+        entered = threading.Event()
+        hold = threading.Event()
+
+        def compute():
+            calls.append(1)
+            entered.set()
+            hold.wait()
+            return "result"
+
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            result, coalesced = coalescer.run("key", compute)
+            with lock:
+                outcomes.append((result, coalesced))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        entered.wait()
+        time.sleep(0.05)  # let followers park on the flight
+        hold.set()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert all(result == "result" for result, _ in outcomes)
+        assert sum(coalesced for _, coalesced in outcomes) == 5
+
+    def test_leader_error_propagates_to_followers(self):
+        coalescer = RequestCoalescer()
+        entered = threading.Event()
+        hold = threading.Event()
+
+        def compute():
+            entered.set()
+            hold.wait()
+            raise ValueError("boom")
+
+        failures = []
+
+        def leader():
+            with pytest.raises(ValueError):
+                coalescer.run("key", compute)
+
+        def follower():
+            try:
+                coalescer.run("key", compute)
+            except ValueError:
+                failures.append(1)
+
+        lead = threading.Thread(target=leader)
+        lead.start()
+        entered.wait()
+        follow = threading.Thread(target=follower)
+        follow.start()
+        time.sleep(0.05)
+        hold.set()
+        lead.join()
+        follow.join()
+        assert failures == [1]
+
+    def test_sequential_keys_recompute(self):
+        coalescer = RequestCoalescer()
+        calls = []
+        coalescer.run("key", lambda: calls.append(1))
+        coalescer.run("key", lambda: calls.append(1))
+        assert len(calls) == 2
+
+
+class TestRegistry:
+    @pytest.fixture(scope="class")
+    def world(self):
+        sources, dataset = make_loaded_sources("tiny", seed=5)
+        return build_hospital_aig(), sources, dataset
+
+    def test_warm_reuse_on_identical_registration(self, world):
+        aig, sources, _ = world
+        registry = TenantRegistry()
+        first = registry.register("t", aig, sources, {"workers": 1})
+        first.middleware.prepare(4)
+        again = registry.register("t", aig, sources, {"workers": 1})
+        assert again is first
+        assert again.middleware.prepare_count == 1  # plans stayed warm
+
+    def test_config_change_swaps_instance(self, world):
+        aig, sources, _ = world
+        registry = TenantRegistry()
+        first = registry.register("t", aig, sources, {"workers": 1})
+        changed = registry.register("t", aig, sources, {"merging": False})
+        assert changed is not first
+        assert changed.plan_key != first.plan_key
+
+    def test_plan_key_built_from_aig_fingerprint(self, world):
+        aig, sources, _ = world
+        registry = TenantRegistry()
+        state = registry.register("t", aig, sources)
+        assert state.fingerprint == aig_fingerprint(aig)
+        assert state.plan_key.startswith(state.fingerprint[:16])
+
+    def test_unknown_config_key_rejected(self, world):
+        from repro.errors import EvaluationError
+        aig, sources, _ = world
+        registry = TenantRegistry()
+        with pytest.raises(EvaluationError):
+            registry.register("t", aig, sources, {"wrokers": 2})
+
+    def test_version_vector_moves_on_load(self, world):
+        aig, sources, _ = world
+        before = version_vector(sources)
+        source = sources["DB1"]
+        relation = source.schema.relations[0].name
+        width = len(source.schema.relation_schema(relation).columns)
+        source.load_rows(relation, [tuple(
+            f"vv-{i}" for i in range(width))])
+        assert version_vector(sources) != before
+
+
+# ----------------------------------------------------------------------
+# full service over HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served():
+    """A running service on an ephemeral port with a hospital tenant."""
+    service = EvaluationService(max_inflight=4, max_queued=32)
+    sources, dataset = make_loaded_sources("tiny", seed=5)
+    service.register_tenant("hospital", build_hospital_aig(), sources,
+                            {"unfold_depth": 8})
+    server, thread = start_background(service)
+    yield service, server, dataset
+    server.shutdown()
+    server.server_close()
+
+
+def _request(server, method, path, payload=None, headers=None):
+    from http.client import HTTPConnection
+    conn = HTTPConnection("127.0.0.1", server.server_address[1], timeout=60)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body, headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), \
+            response.read()
+    finally:
+        conn.close()
+
+
+class TestHTTPSurface:
+    def test_health(self, served):
+        _, server, _ = served
+        status, _, body = _request(server, "GET", "/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert "hospital" in payload["tenants"]
+
+    def test_evaluate_bytes_identical_to_in_process(self, served):
+        _, server, dataset = served
+        date = dataset.busiest_date()
+        status, headers, body = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        assert status == 200
+        assert headers["X-Repro-Phase"] in ("cold", "warm", "delta")
+        fresh_sources, _ = make_loaded_sources("tiny", seed=5)
+        reference = Middleware(build_hospital_aig(), fresh_sources,
+                               Network(), unfold_depth=8)
+        expected = serialize(
+            reference.evaluate({"date": date}).document).encode("utf-8")
+        assert body == expected
+
+    def test_second_request_is_warm(self, served):
+        _, server, dataset = served
+        date = dataset.busiest_date()
+        _request(server, "POST", "/evaluate",
+                 {"tenant": "hospital", "root": {"date": date}})
+        status, headers, _ = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        assert status == 200
+        assert headers["X-Repro-Phase"] == "warm"
+
+    def test_response_cache_hit_and_version_miss(self, served):
+        service, server, dataset = served
+        date = dataset.busiest_date()
+        _, first_headers, first = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        status, headers, body = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+        assert body == first
+        # any load on any base table moves the version vector: the same
+        # request can no longer be served from the cache
+        covered = set(map(tuple, dataset.cover))
+        policy, trid = next(
+            (row_policy, treatment_trid)
+            for _, _, row_policy in dataset.patient
+            for treatment_trid, _ in dataset.treatment
+            if (row_policy, treatment_trid) not in covered)
+        status, _, _ = _request(
+            server, "POST", "/tenants/hospital/load",
+            {"source": "DB2", "relation": "cover",
+             "rows": [[policy, trid]]})
+        assert status == 200
+        status, headers, _ = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "miss"
+
+    def test_streaming_matches_materialized(self, served):
+        _, server, dataset = served
+        date = dataset.busiest_date()
+        _, _, materialized = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        status, headers, streamed = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date},
+             "stream": True})
+        assert status == 200
+        assert headers.get("Transfer-Encoding") == "chunked"
+        assert streamed == materialized
+
+    def test_include_report_envelope(self, served):
+        _, server, dataset = served
+        date = dataset.busiest_date()
+        status, _, body = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date},
+             "include_report": True})
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["report"]["tenant"] == "hospital"
+        assert payload["document"].startswith("<report>")
+
+    def test_delta_ingestion_changes_document(self, served):
+        service, server, dataset = served
+        date = dataset.busiest_date()
+        _, _, before = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        # an existing patient visits a treatment their policy covers, on
+        # the report date: no key/inclusion constraint moves, but the
+        # document gains a treatment subtree (coverage is what makes the
+        # visit visible, Example 1.1)
+        covered = set(map(tuple, dataset.cover))
+        existing = {(row[0], row[1]) for row in dataset.visit_info
+                    if row[2] == date}
+        ssn, trid = next(
+            (patient_ssn, cover_trid)
+            for patient_ssn, _, policy in dataset.patient
+            for cover_policy, cover_trid in covered
+            if cover_policy == policy
+            and (patient_ssn, cover_trid) not in existing)
+        status, _, body = _request(
+            server, "POST", "/tenants/hospital/load",
+            {"source": "DB1", "relation": "visitInfo",
+             "rows": [[ssn, trid, date]]})
+        assert status == 200
+        assert json.loads(body)["rows"] == 1
+        status, headers, after = _request(
+            server, "POST", "/evaluate",
+            {"tenant": "hospital", "root": {"date": date}})
+        assert status == 200
+        assert headers["X-Repro-Phase"] in ("delta", "cold")
+        assert after != before
+
+    def test_unknown_tenant_404(self, served):
+        _, server, _ = served
+        status, _, _ = _request(server, "POST", "/evaluate",
+                                {"tenant": "ghost", "root": {}})
+        assert status == 404
+
+    def test_register_and_delete_tenant_over_http(self, served):
+        _, server, _ = served
+        status, _, body = _request(
+            server, "POST", "/tenants",
+            {"name": "hospital2",
+             "scenario": {"kind": "hospital", "scale": "tiny"},
+             "config": {"unfold_depth": 8}})
+        assert status == 201
+        assert json.loads(body)["name"] == "hospital2"
+        status, _, body = _request(server, "GET", "/tenants")
+        names = [t["name"] for t in json.loads(body)["tenants"]]
+        assert "hospital2" in names
+        status, _, _ = _request(server, "DELETE", "/tenants/hospital2")
+        assert status == 200
+        status, _, _ = _request(server, "DELETE", "/tenants/hospital2")
+        assert status == 404
+
+    def test_invalidate_endpoint(self, served):
+        service, server, dataset = served
+        date = dataset.busiest_date()
+        _request(server, "POST", "/evaluate",
+                 {"tenant": "hospital", "root": {"date": date}})
+        status, _, _ = _request(server, "POST",
+                                "/tenants/hospital/invalidate")
+        assert status == 200
+        assert service.registry.get("hospital") \
+            .middleware._prepared == {}
+
+    def test_metrics_endpoints(self, served):
+        _, server, dataset = served
+        _request(server, "POST", "/evaluate",
+                 {"tenant": "hospital",
+                  "root": {"date": dataset.busiest_date()}})
+        status, headers, body = _request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "repro_service_requests_total" in text
+        assert "repro_service_latency_seconds" in text
+        status, _, body = _request(server, "GET", "/metrics.json")
+        assert status == 200
+        assert json.loads(body)["counters"]["service_requests"] >= 1
+
+    def test_concurrent_identical_requests_coalesce(self, served):
+        service, server, dataset = served
+        date = dataset.busiest_date()
+        # distinct root attributes -> a fresh coalescing key this test
+        # owns; invalidate so the first evaluation is slow enough to
+        # collect followers
+        service.invalidate("hospital")
+        before = service.metrics.snapshot()["counters"] \
+            .get("service_coalesced_requests", 0)
+        barrier = threading.Barrier(8)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            status, headers, body = _request(
+                server, "POST", "/evaluate",
+                {"tenant": "hospital", "root": {"date": date}})
+            with lock:
+                results.append((status, headers["X-Repro-Coalesced"],
+                                body))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(status == 200 for status, _, _ in results)
+        assert len({body for _, _, body in results}) == 1
+        after = service.metrics.snapshot()["counters"] \
+            .get("service_coalesced_requests", 0)
+        coalesced_flags = sum(int(flag) for _, flag, _ in results)
+        assert after - before == coalesced_flags
+
+    def test_admission_shed_returns_429(self, served):
+        service, server, dataset = served
+        # saturate the shared controller: quota fully in flight, queue
+        # full of parked waiters -> the next HTTP request sheds with 429
+        controller = service.admission
+        for _ in range(controller.max_inflight):
+            controller.admit("hospital")
+        hold = threading.Event()
+        parked = []
+
+        def parker():
+            with controller.slot("hospital"):
+                hold.wait()
+
+        for _ in range(controller.max_queued):
+            thread = threading.Thread(target=parker, daemon=True)
+            thread.start()
+            parked.append(thread)
+        deadline = time.time() + 5
+        while (controller.snapshot()["hospital"]["queued"]
+               < controller.max_queued and time.time() < deadline):
+            time.sleep(0.01)
+        try:
+            # a never-evaluated root: the request cannot be served from
+            # the response cache, so it must take the leader path and
+            # shed at admission
+            status, headers, body = _request(
+                server, "POST", "/evaluate",
+                {"tenant": "hospital", "root": {"date": "2099-01-01"}})
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert "over capacity" in json.loads(body)["error"]
+            rejections = service.metrics.snapshot()["counters"] \
+                .get("service_rejections", 0)
+            assert rejections >= 1
+        finally:
+            hold.set()
+            for _ in range(controller.max_inflight):
+                controller.release("hospital")
+            for thread in parked:
+                thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in parked)
+
+    def test_malformed_body_400(self, served):
+        from http.client import HTTPConnection
+        _, server, _ = served
+        conn = HTTPConnection("127.0.0.1", server.server_address[1],
+                              timeout=30)
+        try:
+            conn.request("POST", "/evaluate", "{not json",
+                         {"Content-Length": "9"})
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            conn.close()
+
+
+class TestBreakersAtAdmission:
+    def test_open_breaker_rejects_503(self):
+        from repro.resilience.breaker import BreakerPolicy
+        service = EvaluationService()
+        sources, dataset = make_loaded_sources("tiny", seed=5)
+        state = service.register_tenant(
+            "frail", build_hospital_aig(), sources,
+            {"unfold_depth": 8,
+             "breaker_policy": BreakerPolicy(failure_threshold=1,
+                                             cooldown=3600.0)})
+        breaker = state.middleware.breakers.breaker_for("DB1")
+        while breaker.state != "open":
+            breaker.record_failure()
+        from repro.service import ServiceUnavailable
+        with pytest.raises(ServiceUnavailable):
+            service.evaluate("frail", {"date": dataset.busiest_date()})
+        counters = service.metrics.snapshot()["counters"]
+        assert counters.get("service_breaker_rejections", 0) == 1

@@ -1,0 +1,202 @@
+"""End-to-end smoke test for ``python -m repro serve``.
+
+Unlike the in-process service tests, this drives the real deployment
+shape: a child process running the CLI entry point, reached only over
+TCP.  It checks the full loop a production probe would:
+
+1. spawn ``repro serve`` on an ephemeral port and parse the bound
+   address from its stdout;
+2. poll ``GET /health`` until the service answers;
+3. fire one cold evaluation and a barrier-released wave of identical
+   concurrent requests, asserting every response carries the same bytes;
+4. scrape ``GET /metrics`` and assert the coalescing/caching counters
+   prove the wave shared work instead of re-evaluating per request;
+5. exercise delta ingestion (``POST /tenants/hospital/load``) and
+   confirm the version bump invalidates the response cache;
+6. terminate the child and require a clean exit.
+
+Usage (CI runs this after the unit suite)::
+
+    PYTHONPATH=src python tools/service_smoke.py [--scale tiny]
+                                                 [--clients 16]
+
+Exit status 0 on success; any failure prints the reason and the child's
+captured output, then exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+
+ADDRESS_RE = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+
+def _request(host, port, method, path, payload=None, timeout=60):
+    conn = HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body,
+                     {"Content-Type": "application/json"} if body else {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), \
+            response.read()
+    finally:
+        conn.close()
+
+
+def _wait_for_health(host, port, deadline_seconds=30.0):
+    deadline = time.monotonic() + deadline_seconds
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            status, _, body = _request(host, port, "GET", "/health",
+                                       timeout=5)
+            if status == 200 and json.loads(body)["status"] == "ok":
+                return
+        except OSError as error:
+            last_error = error
+        time.sleep(0.2)
+    raise RuntimeError(f"service never became healthy: {last_error}")
+
+
+def _concurrent_wave(host, port, payload, clients):
+    barrier = threading.Barrier(clients)
+    results = [None] * clients
+    errors = []
+
+    def client(index):
+        try:
+            barrier.wait()
+            results[index] = _request(host, port, "POST", "/evaluate",
+                                      payload)
+        except Exception as error:  # noqa: BLE001 - reported by caller
+            errors.append(error)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+def run_smoke(scale: str, clients: int) -> None:
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--scale", scale],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        # the CLI prints the bound address once the socket is listening
+        host = port = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = child.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"serve exited early (rc={child.poll()})")
+            print(f"  serve: {line.rstrip()}")
+            match = ADDRESS_RE.search(line)
+            if match:
+                host, port = match.group(1), int(match.group(2))
+                break
+        if port is None:
+            raise RuntimeError("never saw the listening address")
+        _wait_for_health(host, port)
+        print(f"- health ok on {host}:{port}")
+
+        # the generator lays every scale's visits across 2003-06-01..10
+        # (seed 42 default), so these probe dates always hold data
+        payload = {"tenant": "hospital", "root": {"date": "2003-06-02"}}
+        status, headers, cold = _request(host, port, "POST", "/evaluate",
+                                         payload)
+        assert status == 200, f"cold evaluate -> {status}"
+        assert cold.startswith(b"<report"), cold[:64]
+        print(f"- cold evaluation ok ({len(cold)} bytes, "
+              f"phase {headers.get('X-Repro-Phase')})")
+
+        # fresh root attributes -> uncached key: the barrier wave must
+        # coalesce onto few evaluations, later hits come from the cache
+        wave_payload = {"tenant": "hospital",
+                        "root": {"date": "2003-06-03"}}
+        results = _concurrent_wave(host, port, wave_payload, clients)
+        bodies = {body for _, _, body in results}
+        assert all(status == 200 for status, _, _ in results), \
+            [status for status, _, _ in results]
+        assert len(bodies) == 1, f"{len(bodies)} distinct documents"
+        repeat_status, repeat_headers, repeat = _request(
+            host, port, "POST", "/evaluate", wave_payload)
+        assert repeat_status == 200
+        assert repeat == bodies.pop()
+        assert repeat_headers.get("X-Repro-Cache") == "hit", \
+            repeat_headers.get("X-Repro-Cache")
+        print(f"- {clients} concurrent identical requests: "
+              "byte-identical, repeat served from cache")
+
+        status, _, metrics = _request(host, port, "GET", "/metrics")
+        assert status == 200
+        text = metrics.decode("utf-8")
+        shared = 0
+        for counter in ("repro_service_coalesced_requests_total",
+                        "repro_service_cache_hits_total"):
+            match = re.search(rf"^{counter} (\d+)", text, re.M)
+            shared += int(match.group(1)) if match else 0
+        evaluations = int(re.search(
+            r"^repro_service_evaluations_total (\d+)", text, re.M)
+            .group(1))
+        assert shared > 0, "no request ever shared work"
+        assert evaluations < clients + 2, \
+            f"{evaluations} evaluations for {clients + 2} requests"
+        print(f"- metrics ok: {evaluations} evaluation(s), "
+              f"{shared} request(s) served by coalescing/cache")
+
+        # delta ingestion must bump the version vector and drop the hit
+        status, _, body = _request(
+            host, port, "POST", "/tenants/hospital/load",
+            {"source": "DB2", "relation": "cover",
+             "rows": [["P99999", "T99999"]]})
+        assert status == 200, body
+        status, headers, _ = _request(host, port, "POST", "/evaluate",
+                                      wave_payload)
+        assert status == 200
+        assert headers.get("X-Repro-Cache") == "miss", \
+            headers.get("X-Repro-Cache")
+        print("- delta ingestion invalidated the response cache")
+    finally:
+        child.terminate()
+        try:
+            child.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait(timeout=15)
+    print("service smoke: OK")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="smoke-test `python -m repro serve` end to end")
+    parser.add_argument("--scale", default="tiny",
+                        help="hospital dataset scale (default tiny)")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent clients in the wave "
+                             "(default 16)")
+    args = parser.parse_args(argv)
+    try:
+        run_smoke(args.scale, args.clients)
+    except Exception as error:  # noqa: BLE001 - tool boundary
+        print(f"service smoke: FAILED — {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
