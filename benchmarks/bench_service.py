@@ -17,11 +17,15 @@ concurrent pre-connected clients, the shape of the ROADMAP's
 Asserted service-level objective (ISSUE 8): at ``CONCURRENCY`` >= 500
 concurrent warm requests, warm p50 must stay under 10x one warm
 in-process evaluation+serialization of the same scenario.  Results land
-in ``BENCH_service.json`` (p50/p99 latency per phase + throughput),
-gated >2x by ``tools/bench_regress.py``.
+in ``BENCH_service.json`` (p50/p99 latency per phase + throughput +
+process peak RSS), gated >2x by ``tools/bench_regress.py``.  ``--quick``
+runs a reduced load (100 clients x 2 waves) and records under
+``service_load_small_quick`` so CI smoke runs never overwrite the
+full-scale baseline.
 """
 
 import json
+import resource
 import socket
 import statistics
 import threading
@@ -43,6 +47,8 @@ BENCH_SERVICE_JSON = REPO_ROOT / "BENCH_service.json"
 SCALE = "small"
 CONCURRENCY = 500
 WARM_WAVES = 3
+CONCURRENCY_QUICK = 100
+WARM_WAVES_QUICK = 2
 WARM_P50_BUDGET_FACTOR = 10.0
 
 
@@ -185,7 +191,9 @@ def _warm_waves(port, body, waves, concurrency, timeout=120):
     return results, walls
 
 
-def test_service_load(benchmark):
+def test_service_load(benchmark, quick):
+    concurrency = CONCURRENCY_QUICK if quick else CONCURRENCY
+    warm_waves = WARM_WAVES_QUICK if quick else WARM_WAVES
     sources, dataset = make_loaded_sources(SCALE, seed=47)
     date = dataset.busiest_date()
 
@@ -204,7 +212,7 @@ def test_service_load(benchmark):
         warm_samples.append(time.perf_counter() - started)
     single_warm_seconds = statistics.median(warm_samples)
 
-    service = EvaluationService(max_inflight=8, max_queued=CONCURRENCY)
+    service = EvaluationService(max_inflight=8, max_queued=concurrency)
     service.register_tenant("hospital", build_hospital_aig(), sources,
                             {"unfold_depth": 8})
     server, _ = start_background(service)
@@ -217,10 +225,10 @@ def test_service_load(benchmark):
         assert cold_results[0][0] == 200
         assert cold_results[0][2] == expected
 
-        # -- warm: CONCURRENCY identical concurrent requests ---------
+        # -- warm: ``concurrency`` identical concurrent requests -----
         latencies, wave_p50s = [], []
-        wave_results, walls = _warm_waves(port, body, WARM_WAVES,
-                                          CONCURRENCY)
+        wave_results, walls = _warm_waves(port, body, warm_waves,
+                                          concurrency)
         for results in wave_results:
             for status, elapsed, data in results:
                 assert status == 200
@@ -265,8 +273,9 @@ def test_service_load(benchmark):
     # stall on the shared box fail an otherwise comfortably-passing run
     warm_p50 = min(measured["warm_wave_p50s"])
     warm_p99 = _percentile(measured["warm_latencies"], 0.99)
-    requests_per_second = (CONCURRENCY * WARM_WAVES
+    requests_per_second = (concurrency * warm_waves
                            / sum(measured["warm_walls"]))
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     # the service objective: coalescing observable, every byte exact,
     # warm p50 within budget of one in-process warm evaluation
@@ -279,7 +288,7 @@ def test_service_load(benchmark):
 
     payload = {
         "scale": SCALE,
-        "concurrency": CONCURRENCY,
+        "concurrency": concurrency,
         "single_warm_inprocess_seconds": round(single_warm_seconds, 6),
         "cold_seconds": round(measured["cold_seconds"], 6),
         "warm_p50_seconds": round(warm_p50, 6),
@@ -295,11 +304,16 @@ def test_service_load(benchmark):
             "service_coalesced_requests", 0),
         "evaluations": counters.get("service_evaluations", 0),
         "document_bytes": len(expected),
+        # server + load generator share this process: one peak-RSS
+        # figure covers the whole serving stack
+        "peak_rss_kb": peak_rss_kb,
     }
-    record_json("service_load_small", payload, BENCH_SERVICE_JSON)
+    name = ("service_load_small_quick" if quick
+            else "service_load_small")
+    record_json(name, payload, BENCH_SERVICE_JSON)
     report("bench_service", "\n".join([
         "Evaluation service under concurrent load "
-        f"(scale {SCALE}, {CONCURRENCY} clients x {WARM_WAVES} warm "
+        f"(scale {SCALE}, {concurrency} clients x {warm_waves} warm "
         "waves)",
         f"{'phase':>8s}{'p50 s':>10s}{'p99 s':>10s}",
         f"{'cold':>8s}{measured['cold_seconds']:>10.3f}{'':>10s}",
@@ -309,8 +323,9 @@ def test_service_load(benchmark):
         f"{_percentile(measured['delta_latencies'], 0.99):>10.3f}",
         f"throughput {requests_per_second:,.0f} warm req/s; "
         f"{payload['coalesced_requests']} of "
-        f"{CONCURRENCY * WARM_WAVES} warm requests coalesced; "
-        f"{payload['evaluations']} evaluation(s) total",
+        f"{concurrency * warm_waves} warm requests coalesced; "
+        f"{payload['evaluations']} evaluation(s) total; "
+        f"peak RSS {peak_rss_kb // 1024}MB",
         f"single warm in-process evaluation "
         f"{single_warm_seconds * 1000:.1f} ms -> p50 budget "
         f"{WARM_P50_BUDGET_FACTOR * single_warm_seconds * 1000:.1f} ms",

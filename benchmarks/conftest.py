@@ -30,6 +30,19 @@ BENCH_DATAPLANE_JSON = REPO_ROOT / "BENCH_dataplane.json"
 BENCH_OBS_JSON = REPO_ROOT / "BENCH_obs.json"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="reduced benchmark scale for CI smoke runs; quick results "
+             "are recorded under separate *_quick keys so they never "
+             "overwrite full-scale baselines")
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    return request.config.getoption("--quick")
+
+
 def report(name: str, text: str) -> str:
     """Print a result table and persist it under benchmarks/results/."""
     print(text)

@@ -3,11 +3,13 @@
 Commands:
 
 * ``demo [--scale S] [--date D] [--no-merge] [--dynamic] [--workers N]
-  [--trace FILE] [--metrics] [--metrics-json FILE] [--faults SPEC]
-  [--retries N] [--deadline S] [--degrade]`` — generate a hospital
-  dataset and produce one day's report through the middleware, printing
-  summary statistics (add ``--xml`` to dump the document; ``--workers N``
-  or ``--workers auto`` executes per-source query sequences concurrently;
+  [--shards N] [--trace FILE] [--metrics] [--metrics-json FILE]
+  [--faults SPEC] [--retries N] [--deadline S] [--degrade]`` — generate a
+  hospital dataset and produce one day's report through the middleware,
+  printing summary statistics (add ``--xml`` to dump the document;
+  ``--workers N`` or ``--workers auto`` executes per-source query
+  sequences concurrently; ``--shards N`` partitions the document by key
+  range and evaluates in N worker processes — see docs/SHARDING.md;
   ``--trace`` writes a Chrome trace-event JSON loadable in Perfetto /
   ``chrome://tracing`` with one track per worker lane; ``--faults``
   injects deterministic failures, recovered by ``--retries``/``--degrade``
@@ -30,10 +32,12 @@ Commands:
   writing a JSON repro file for any divergence (see docs/TESTING.md).
 * ``serve [--host H] [--port P] [--scale S] [--workers N] [--no-merge]
   [--no-incremental] [--max-inflight N] [--queue-depth N]
-  [--ledger FILE] [--feedback FILE]`` — run the long-lived multi-tenant
-  evaluation service (docs/SERVICE.md): compiled plans, incremental
-  caches, pooled connections, breakers, and cost-feedback state stay
-  warm across HTTP requests; a hospital tenant is pre-registered.
+  [--max-tenants N] [--tenant-ttl S] [--ledger FILE] [--feedback FILE]``
+  — run the long-lived multi-tenant evaluation service (docs/SERVICE.md):
+  compiled plans, incremental caches, pooled connections, breakers, and
+  cost-feedback state stay warm across HTTP requests; a hospital tenant
+  is pre-registered; ``--max-tenants``/``--tenant-ttl`` bound the
+  registry with LRU + idle-TTL eviction.
 * ``explain`` — print the optimizer's plan; ``info`` — component inventory.
 
 Every command accepts ``-v/--verbose`` (repeatable) and ``--quiet``, which
@@ -103,7 +107,8 @@ def _demo(args) -> int:
         deadline=args.deadline,
         on_source_failure="degrade" if args.degrade else "abort",
         incremental=args.incremental,
-        ledger=args.ledger)
+        ledger=args.ledger,
+        shards=args.shards)
     injector = None
     if args.faults:
         from repro.resilience import FaultInjector
@@ -129,6 +134,15 @@ def _demo(args) -> int:
     print(f"execution: {report.workers} worker lane(s), "
           f"{report.measured_seconds:.3f}s wall, "
           f"parallel speedup {report.parallel_speedup:.2f}x")
+    if report.shards > 1:
+        rss = (max(report.shard_peak_rss) if report.shard_peak_rss else 0)
+        print(f"sharding: {report.shards} process(es), rows/shard "
+              f"{report.shard_rows}, reconcile "
+              f"{report.reconcile_seconds * 1000:.1f}ms, IPC "
+              f"{report.ipc_bytes} bytes, peak worker RSS {rss} KiB")
+    elif args.shards > 1:
+        print("sharding: requested but the AIG has no eligible partition "
+              "production; ran single-process")
     if warm is not None:
         ratio = (report.measured_seconds
                  / max(warm.measured_seconds, 1e-9))
@@ -368,7 +382,9 @@ def _serve(args) -> int:
     from repro.service.server import serve_forever
 
     service = EvaluationService(max_inflight=args.max_inflight,
-                                max_queued=args.queue_depth)
+                                max_queued=args.queue_depth,
+                                max_tenants=args.max_tenants,
+                                tenant_ttl=args.tenant_ttl)
     aig = build_hospital_aig()
     sources, _ = make_loaded_sources(args.scale)
     config = {"merging": not args.no_merge,
@@ -409,6 +425,19 @@ def _workers_value(text: str):
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"expected a positive integer or 'auto', got {text!r}")
+    return value
+
+
+def _shards_value(text: str) -> int:
+    """argparse type for ``--shards``: a positive int."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
     return value
 
 
@@ -461,6 +490,10 @@ def main(argv: list[str] | None = None) -> int:
                       metavar="N|auto",
                       help="concurrent source lanes (default 1; 'auto' = "
                            "one per source)")
+    demo.add_argument("--shards", type=_shards_value, default=1, metavar="N",
+                      help="evaluate in N worker processes by key-range "
+                           "document partitioning (default 1 = off; see "
+                           "docs/SHARDING.md)")
     demo.add_argument("--trace", default=None, metavar="FILE",
                       help="write a Chrome trace-event JSON of the run "
                            "(Perfetto / chrome://tracing)")
@@ -610,6 +643,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
                        help="per-tenant admission queue beyond the quota; "
                             "overflow gets 429 (default 64)")
+    serve.add_argument("--max-tenants", type=int, default=None, metavar="N",
+                       help="evict the least-recently-used tenant beyond "
+                            "N registered (default: unbounded)")
+    serve.add_argument("--tenant-ttl", type=float, default=None,
+                       metavar="S",
+                       help="evict tenants idle for more than S seconds "
+                            "(default: never)")
     serve.add_argument("--ledger", default=None, metavar="FILE",
                        help="append one JSONL run record per evaluation")
     serve.add_argument("--feedback", default=None, metavar="FILE",

@@ -74,6 +74,48 @@ def _field_tuple(node: XMLElement, fields: tuple[str, ...]):
     return values
 
 
+def key_violation(key: Key, context_path: str,
+                  counts: dict[tuple, int]) -> Violation | None:
+    """The violation for one key context given its value counts, if any.
+
+    ``counts`` maps each target field tuple to its multiplicity inside the
+    context; the cross-shard reconcile pass (:mod:`repro.constraints.
+    reconcile`) builds these counts by summing per-shard counters, so the
+    wording here must stay byte-identical to the tree checker's.
+    """
+    duplicates = sorted(v for v, count in counts.items() if count > 1)
+    if not duplicates:
+        return None
+    shown = [v[0] if len(v) == 1 else v for v in duplicates]
+    return Violation(
+        key, context_path,
+        f"duplicate {'/'.join(key.fields)} value(s) {shown} among "
+        f"{key.target} elements")
+
+
+def inclusion_violation(ic: InclusionConstraint, context_path: str,
+                        source_values, target_values) -> Violation | None:
+    """The violation for one inclusion context given its value sets, if any.
+
+    ``source_values``/``target_values`` are the field tuples observed for
+    the context (``None`` entries, from nodes missing a field, are
+    ignored).  Shared with the cross-shard reconcile pass, which unions the
+    per-shard sets before calling this.
+    """
+    available = set(target_values)
+    available.discard(None)
+    missing = sorted({value for value in source_values
+                      if value is not None and value not in available})
+    if not missing:
+        return None
+    shown = [v[0] if len(v) == 1 else v for v in missing]
+    return Violation(
+        ic, context_path,
+        f"{ic.source}.{'/'.join(ic.source_fields)} value(s) {shown} "
+        f"have no matching "
+        f"{ic.target}.{'/'.join(ic.target_fields)}")
+
+
 def _check_key(tree: XMLElement, key: Key) -> list[Violation]:
     violations: list[Violation] = []
     for context_node in tree.iter(key.context):
@@ -83,13 +125,9 @@ def _check_key(tree: XMLElement, key: Key) -> list[Violation]:
             if value is None:
                 continue
             seen[value] = seen.get(value, 0) + 1
-        duplicates = sorted(v for v, count in seen.items() if count > 1)
-        if duplicates:
-            shown = [v[0] if len(v) == 1 else v for v in duplicates]
-            violations.append(Violation(
-                key, context_node.path(),
-                f"duplicate {'/'.join(key.fields)} value(s) {shown} among "
-                f"{key.target} elements"))
+        violation = key_violation(key, context_node.path(), seen)
+        if violation is not None:
+            violations.append(violation)
     return violations
 
 
@@ -97,19 +135,12 @@ def _check_inclusion(tree: XMLElement,
                      ic: InclusionConstraint) -> list[Violation]:
     violations: list[Violation] = []
     for context_node in tree.iter(ic.context):
-        available = {_field_tuple(node, ic.target_fields)
-                     for node in context_node.iter(ic.target)}
-        available.discard(None)
-        missing = sorted({
-            value
-            for node in context_node.iter(ic.source)
-            if (value := _field_tuple(node, ic.source_fields)) is not None
-            and value not in available})
-        if missing:
-            shown = [v[0] if len(v) == 1 else v for v in missing]
-            violations.append(Violation(
-                ic, context_node.path(),
-                f"{ic.source}.{'/'.join(ic.source_fields)} value(s) {shown} "
-                f"have no matching "
-                f"{ic.target}.{'/'.join(ic.target_fields)}"))
+        targets = {_field_tuple(node, ic.target_fields)
+                   for node in context_node.iter(ic.target)}
+        sources = {_field_tuple(node, ic.source_fields)
+                   for node in context_node.iter(ic.source)}
+        violation = inclusion_violation(ic, context_node.path(),
+                                        sources, targets)
+        if violation is not None:
+            violations.append(violation)
     return violations

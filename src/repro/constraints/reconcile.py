@@ -1,0 +1,346 @@
+"""Cross-shard constraint reconciliation (the sharded engine's verdict).
+
+When a document is evaluated in shards (:mod:`repro.runtime.sharding`),
+each worker holds only its slice of the partition production's children,
+so no worker can decide a key or inclusion constraint on its own: a key
+value may be unique within every shard yet duplicated across two of
+them, and an inclusion source may find its matching target only in
+another shard's slice.  Reconciliation splits the decision:
+
+* **collect** (worker side, :func:`collect_evidence`): for *shared*
+  contexts (the partition production and its ancestors and siblings —
+  identical structure in every shard) one walk gathers, per constraint
+  and per context node, the field tuples the tree checker would have
+  extracted — counts for key targets, value sets for inclusion
+  sources/targets.  *Local* contexts (strictly inside this shard's
+  slice) contain every target the checker would inspect, so the worker
+  judges them on the spot and ships only the non-``None`` violations
+  (:class:`LocalVerdict`) — shipping per-value evidence there would
+  make IPC scale with document size instead of violation count.  A
+  constraint whose engine guard query stayed clean provably has no
+  local violation, so its local scan is skipped entirely (``suspects``;
+  degraded runs fall back to the full scan).  Contexts are addressed by
+  their *order path* (the tuple of child indices from the root), which
+  is stable across shards for everything outside the partition subtree.
+* **reconcile** (parent side, :func:`reconcile`): shared-context
+  evidence is merged — key counts from inside the partition subtree are
+  summed across shards on top of the outside counts taken once,
+  inclusion sets are unioned — and judged by the exact same value-level
+  helpers the tree checker uses
+  (:func:`repro.constraints.checker.key_violation` /
+  :func:`~repro.constraints.checker.inclusion_violation`); local
+  verdicts are re-addressed by offsetting their order path at the
+  splice depth by the number of partition children in earlier shards.
+  The result is string-identical to running the checker on the merged
+  document.
+
+Pre-order traversal of a tree equals lexicographic order of order
+paths, so sorting merged contexts by (adjusted) order path reproduces
+the single-process checker's violation order exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.checker import (
+    Violation,
+    _field_tuple,
+    inclusion_violation,
+    key_violation,
+)
+from repro.constraints.model import Constraint, InclusionConstraint, Key
+from repro.xmlmodel.node import XMLElement
+
+
+@dataclass
+class KeyEvidence:
+    """One key context's value counts in one shard document.
+
+    ``outside`` counts targets that are not inside the partition subtree
+    (replicated identically in every shard — merged by taking the first
+    shard's copy); ``inside`` counts targets within this shard's slice
+    (merged by summation).
+    """
+
+    order_path: tuple[int, ...]
+    context_path: str
+    local: bool
+    outside: dict = field(default_factory=dict)
+    inside: dict = field(default_factory=dict)
+
+
+@dataclass
+class InclusionEvidence:
+    """One inclusion context's source/target value sets in one shard.
+
+    Sets union idempotently, so inclusion evidence needs no
+    outside/inside split — replicated values collapse on merge.
+    """
+
+    order_path: tuple[int, ...]
+    context_path: str
+    local: bool
+    sources: set = field(default_factory=set)
+    targets: set = field(default_factory=set)
+
+
+@dataclass
+class LocalVerdict:
+    """A violation already decided inside one shard.
+
+    A *local* context lives strictly inside one shard's slice, so every
+    target/source the checker would inspect is in the same shard: the
+    worker judges it on the spot and ships only the outcome.  Shipping
+    per-value evidence for local contexts would make IPC and the
+    parent's reconcile pass scale with document size instead of with
+    the (usually tiny) number of violations.
+    """
+
+    order_path: tuple[int, ...]
+    violation: Violation
+
+
+@dataclass
+class ShardEvidence:
+    """All constraint evidence from one shard document.
+
+    ``per_constraint[i]`` lists the evidence entries for
+    ``constraints[i]`` (same order as the AIG's constraint list);
+    ``partition_children`` is the number of children the shard
+    contributed at the splice node, which fixes the order-path offsets
+    during reconciliation.
+    """
+
+    per_constraint: list
+    partition_children: int
+
+
+def _shared_paths(tree: XMLElement, splice: XMLElement | None):
+    """Order paths for every element *outside* the partition subtree.
+
+    The walk does not descend into ``splice`` (its children are the
+    shard's slice — the bulk of the document), so this is O(shared
+    part), not O(document).  An element is local exactly when its id is
+    absent from the returned map.  Also returns the shared elements
+    themselves, so callers can enumerate shared contexts without a
+    full-document scan.
+    """
+    paths: dict[int, tuple[int, ...]] = {id(tree): ()}
+    nodes: list[XMLElement] = [tree]
+    if tree is splice:
+        return paths, nodes
+    stack: list = [(tree, ())]
+    while stack:
+        node, path = stack.pop()
+        index = 0
+        for child in node.children:
+            if not isinstance(child, XMLElement):
+                continue
+            child_path = path + (index,)
+            paths[id(child)] = child_path
+            nodes.append(child)
+            if child is not splice:
+                stack.append((child, child_path))
+            index += 1
+    return paths, nodes
+
+
+def _order_path(node: XMLElement) -> tuple[int, ...]:
+    """One element's child-index path, by walking up to the root.
+
+    Linear in tree depth plus sibling counts along the way — used only
+    for *violating* local contexts, which are rare; the non-violating
+    bulk never pays for path construction.
+    """
+    path: list[int] = []
+    while node.parent is not None:
+        index = 0
+        for sibling in node.parent.children:
+            if sibling is node:
+                break
+            if isinstance(sibling, XMLElement):
+                index += 1
+        path.append(index)
+        node = node.parent
+    return tuple(reversed(path))
+
+
+def collect_evidence(tree: XMLElement, constraints: list[Constraint],
+                     splice: XMLElement | None,
+                     suspects=None) -> ShardEvidence:
+    """Gather one shard document's per-context constraint evidence.
+
+    ``splice`` is the partition production's element in this shard (its
+    children are the shard's slice); ``None`` means the whole document
+    is shared (the degenerate single-shard case).
+
+    ``suspects``, when given, is the set of constraints whose engine
+    guard query fired on this shard document.  A guard is a whole-
+    document check, so a clean guard proves no context — shared or
+    local — violates within this shard; local contexts (whose verdict
+    depends on this shard alone) then need no scan at all.  Shared
+    contexts are always collected: their verdict depends on other
+    shards' slices, which the guard cannot see.  Pass ``None`` when
+    guard outcomes are unavailable or untrustworthy (e.g. a degraded
+    run may have skipped guard nodes), which scans everything.
+    """
+    shared, shared_nodes = _shared_paths(tree, splice)
+    per_constraint: list = []
+    for constraint in constraints:
+        entries = []
+        scan_local = (splice is not None
+                      and (suspects is None or constraint in suspects))
+        if isinstance(constraint, Key):
+            for context in shared_nodes:
+                if context.tag != constraint.context:
+                    continue
+                entry = KeyEvidence(shared[id(context)],
+                                    context.path(), False)
+                for target in context.iter(constraint.target):
+                    value = _field_tuple(target, constraint.fields)
+                    if value is None:
+                        continue
+                    bucket = (entry.outside if id(target) in shared
+                              else entry.inside)
+                    bucket[value] = bucket.get(value, 0) + 1
+                entries.append(entry)
+            if scan_local:
+                for context in splice.iter(constraint.context):
+                    if context is splice:
+                        continue
+                    # Local context: every target is in this shard —
+                    # judge here, ship only a non-None outcome.
+                    counts: dict = {}
+                    for target in context.iter(constraint.target):
+                        value = _field_tuple(target, constraint.fields)
+                        if value is not None:
+                            counts[value] = counts.get(value, 0) + 1
+                    violation = key_violation(constraint, context.path(),
+                                              counts)
+                    if violation is not None:
+                        entries.append(LocalVerdict(
+                            _order_path(context), violation))
+        elif isinstance(constraint, InclusionConstraint):
+            for context in shared_nodes:
+                if context.tag != constraint.context:
+                    continue
+                entry = InclusionEvidence(shared[id(context)],
+                                          context.path(), False)
+                for node in context.iter(constraint.source):
+                    value = _field_tuple(node, constraint.source_fields)
+                    if value is not None:
+                        entry.sources.add(value)
+                for node in context.iter(constraint.target):
+                    value = _field_tuple(node, constraint.target_fields)
+                    if value is not None:
+                        entry.targets.add(value)
+                entries.append(entry)
+            if scan_local:
+                for context in splice.iter(constraint.context):
+                    if context is splice:
+                        continue
+                    sources: set = set()
+                    targets: set = set()
+                    for node in context.iter(constraint.source):
+                        value = _field_tuple(node,
+                                             constraint.source_fields)
+                        if value is not None:
+                            sources.add(value)
+                    for node in context.iter(constraint.target):
+                        value = _field_tuple(node,
+                                             constraint.target_fields)
+                        if value is not None:
+                            targets.add(value)
+                    violation = inclusion_violation(
+                        constraint, context.path(), sources, targets)
+                    if violation is not None:
+                        entries.append(LocalVerdict(
+                            _order_path(context), violation))
+        else:
+            raise TypeError(f"unknown constraint type "
+                            f"{type(constraint).__name__}")
+        per_constraint.append(entries)
+    children = len([c for c in (splice.children if splice is not None
+                                else [])
+                    if isinstance(c, XMLElement)])
+    return ShardEvidence(per_constraint, children)
+
+
+def _adjusted(entry, offset: int, splice_depth: int) -> tuple[int, ...]:
+    """A local context's order path in the *merged* document."""
+    if not entry.local or offset == 0:
+        return entry.order_path
+    path = list(entry.order_path)
+    path[splice_depth] += offset
+    return tuple(path)
+
+
+def reconcile(constraints: list[Constraint],
+              evidences: list[ShardEvidence],
+              splice_depth: int) -> list[Violation]:
+    """Merge per-shard evidence into the global constraint verdict.
+
+    ``evidences`` must be in shard order (shard 0's partition children
+    come first in the merged document); ``splice_depth`` is the length
+    of the chain from the root to the partition production, i.e. the
+    order-path index at which local contexts need offsetting.
+    """
+    offsets = []
+    total = 0
+    for evidence in evidences:
+        offsets.append(total)
+        total += evidence.partition_children
+    violations: list[Violation] = []
+    for index, constraint in enumerate(constraints):
+        merged: dict[tuple[int, ...], object] = {}
+        for evidence, offset in zip(evidences, offsets):
+            for entry in evidence.per_constraint[index]:
+                if isinstance(entry, LocalVerdict):
+                    # Already judged in its shard; only its order path
+                    # needs re-addressing into the merged document.
+                    if offset == 0:
+                        merged[entry.order_path] = entry
+                    else:
+                        path = list(entry.order_path)
+                        path[splice_depth] += offset
+                        merged[tuple(path)] = entry
+                    continue
+                path = _adjusted(entry, offset, splice_depth)
+                existing = merged.get(path)
+                if existing is None:
+                    if isinstance(entry, KeyEvidence):
+                        merged[path] = KeyEvidence(
+                            path, entry.context_path, entry.local,
+                            dict(entry.outside), dict(entry.inside))
+                    else:
+                        merged[path] = InclusionEvidence(
+                            path, entry.context_path, entry.local,
+                            set(entry.sources), set(entry.targets))
+                elif isinstance(entry, KeyEvidence):
+                    # outside counts are replicated per shard: keep the
+                    # first copy; inside counts are disjoint slices: sum
+                    for value, count in entry.inside.items():
+                        existing.inside[value] = (
+                            existing.inside.get(value, 0) + count)
+                else:
+                    existing.sources |= entry.sources
+                    existing.targets |= entry.targets
+        for path in sorted(merged):
+            entry = merged[path]
+            if isinstance(entry, LocalVerdict):
+                violations.append(entry.violation)
+                continue
+            if isinstance(entry, KeyEvidence):
+                counts = dict(entry.outside)
+                for value, count in entry.inside.items():
+                    counts[value] = counts.get(value, 0) + count
+                violation = key_violation(constraint, entry.context_path,
+                                          counts)
+            else:
+                violation = inclusion_violation(
+                    constraint, entry.context_path,
+                    entry.sources, entry.targets)
+            if violation is not None:
+                violations.append(violation)
+    return violations

@@ -14,6 +14,12 @@ evaluates one scenario under the full grid —
   over the mutated data),
 * a fault-injected-then-recovered run (an ``error@1`` fault with a
   retry budget must leave the output untouched),
+* sharded multi-process runs (``shards`` ∈ {2, 3, 4}, docs/SHARDING.md):
+  byte-identical document, identical tree-checker verdict over the merged
+  document, *and* an identical cross-shard *reconciled* verdict
+  (``report.violations``), plus an abort-consistency probe at one shard
+  count — non-partitionable scenarios fall back to the single-process
+  path and still must byte-match,
 
 and records a :class:`Divergence` for every mismatch in serialized XML,
 DTD conformance, or constraint verdicts.  Every configuration gets a
@@ -61,7 +67,7 @@ def _config_name(kwargs: dict) -> str:
 
 ALL_CONFIGS = tuple([_config_name(kwargs) for kwargs in GRID]
                     + ["abort-consistency", "incremental", "fault-recovery",
-                       "streaming"])
+                       "streaming", "shards"])
 
 
 @dataclass
@@ -327,6 +333,74 @@ def _check_streaming(report: OracleReport, spec: ScenarioSpec,
              base_verdict, conformant=True)
 
 
+def _check_sharded(report: OracleReport, spec: ScenarioSpec,
+                   base_xml: str, base_verdict: list[str]) -> None:
+    """Sharded multi-process runs at several shard counts.
+
+    Three-way comparison per count: the merged document's bytes, the
+    tree checker's verdict over it, and — the actual reconcile test —
+    the cross-shard *reconciled* verdict the middleware returns in
+    ``report.violations``.  Scenarios with no eligible partition
+    production run the single-process fallback (``result.shards == 1``)
+    and are still byte-compared.
+    """
+    from repro.constraints import check_constraints
+    from repro.runtime import Middleware
+    from repro.xmlmodel import conforms_to, serialize
+
+    for shards in (2, 3, 4):
+        config = f"shards-{shards}"
+        try:
+            aig, sources = build_scenario(spec)
+            middleware = Middleware(aig, sources, violation_mode="report",
+                                    shards=shards)
+            result = middleware.evaluate(dict(spec.root_values))
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                config, "error", f"{type(error).__name__}: {error}"))
+            report.results.append(ConfigResult(config, False))
+            continue
+        document = result.document
+        verdict = sorted(str(v) for v in
+                         check_constraints(document, aig.constraints))
+        if result.shards > 1:
+            reconciled = sorted(str(v) for v in result.violations)
+            if reconciled != base_verdict:
+                report.divergences.append(Divergence(
+                    config, "violations",
+                    f"reconciled verdict: expected {base_verdict!r}, "
+                    f"got {reconciled!r}"))
+        _compare(report, config, serialize(document, indent=2), verdict,
+                 base_xml, base_verdict, conforms_to(document, aig.dtd))
+
+    # abort mode through the sharded path must raise exactly when the
+    # reconciled verdict is non-empty
+    config = "shards-abort"
+    try:
+        aig, sources = build_scenario(spec)
+        middleware = Middleware(aig, sources, violation_mode="abort",
+                                shards=2)
+        try:
+            middleware.evaluate(dict(spec.root_values))
+            aborted = False
+        except EvaluationAborted:
+            aborted = True
+    except ReproError as error:
+        report.divergences.append(Divergence(
+            config, "error", f"{type(error).__name__}: {error}"))
+        report.results.append(ConfigResult(config, False))
+        return
+    expected = bool(base_verdict)
+    if aborted != expected:
+        report.divergences.append(Divergence(
+            config, "abort",
+            f"sharded abort mode {'raised' if aborted else 'did not raise'} "
+            f"but report mode found {len(base_verdict)} violation(s)"))
+        report.results.append(ConfigResult(config, False))
+    else:
+        report.results.append(ConfigResult(config, True))
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -392,4 +466,6 @@ def run_oracle(spec: ScenarioSpec,
         except ReproError as error:
             report.divergences.append(Divergence(
                 "streaming", "error", f"{type(error).__name__}: {error}"))
+    if selected("shards"):
+        _check_sharded(report, spec, base_xml, base_verdict)
     return report

@@ -11,8 +11,11 @@ from dataclasses import dataclass, field
 
 from repro.errors import SpecError
 
-#: SQL column types accepted (SQLite affinity names).
-_ALLOWED_TYPES = {"TEXT", "INTEGER", "REAL"}
+#: SQL column types accepted (SQLite affinity names).  BLOB has *no*
+#: affinity, so values round-trip with their Python types intact — the
+#: sharding layer declares shard-chunk relations as BLOB so re-inserted
+#: driving rows compare exactly like the originals.
+_ALLOWED_TYPES = {"TEXT", "INTEGER", "REAL", "BLOB"}
 
 
 @dataclass(frozen=True)

@@ -83,6 +83,17 @@ class ExecutionReport:
     #: Subtree instances of the previous document spliced by the tagging
     #: phase instead of rebuilt.
     subtrees_spliced: int = 0
+    #: Sharded evaluation (``Middleware(shards=N)``, docs/SHARDING.md):
+    #: worker-process count of the run (1 = single-process path), rows of
+    #: the driving query each shard evaluated, parent-side reconcile wall
+    #: time, pickled bytes shipped to/from workers, per-shard worker
+    #: peak RSS (KiB) and per-shard process CPU seconds.
+    shards: int = 1
+    shard_rows: list = field(default_factory=list)
+    reconcile_seconds: float = 0.0
+    ipc_bytes: int = 0
+    shard_peak_rss: list = field(default_factory=list)
+    shard_cpu_seconds: list = field(default_factory=list)
 
 
 @dataclass
@@ -133,7 +144,8 @@ class Middleware:
                  pushdown: bool = False,
                  columnar: bool | int = False,
                  cost_feedback=None,
-                 ledger=None):
+                 ledger=None,
+                 shards: int = 1):
         #: Observability handle (see :mod:`repro.obs`): a recording
         #: :class:`~repro.obs.Tracer` captures per-stage spans and metrics
         #: for every evaluation; the default no-op tracer leaves the hot
@@ -232,6 +244,16 @@ class Middleware:
             from repro.obs.ledger import RunLedger
             ledger = RunLedger(ledger)
         self.ledger = ledger
+        #: Sharded multi-process evaluation (docs/SHARDING.md): when > 1,
+        #: ``evaluate`` first tries to partition the document at an
+        #: eligible set-valued production and run the key ranges in worker
+        #: processes, falling back to the single-process path when the AIG
+        #: is not partitionable.
+        if isinstance(shards, bool) or not isinstance(shards, int) \
+                or shards < 1:
+            raise EvaluationError(
+                f"shards must be a positive integer, got {shards!r}")
+        self.shards = shards
         #: Connections pre-leased for a whole batch (``evaluate_batch``).
         self._preleased: dict = {}
         #: Concurrency control (docs/SERVICE.md).  ``_prepare_lock`` guards
@@ -277,6 +299,17 @@ class Middleware:
         """
         from repro.errors import RecursionTruncated
         tracer = self.tracer if tracer is None else tracer
+        if self.shards > 1:
+            # Sharded path (docs/SHARDING.md).  Holds the run lock like a
+            # normal run: the driving query and source dumps hit the
+            # single-flight sources.  Ledger, cost feedback, and the
+            # incremental caches are per-process state and deliberately
+            # stay untouched on sharded runs.
+            from repro.runtime.sharding import evaluate_sharded
+            with self._run_lock:
+                sharded = evaluate_sharded(self, dict(root_inh), tracer)
+            if sharded is not None:
+                return sharded
         recursive = bool(recursive_types(self.aig.dtd))
         depth = self._initial_depth() if recursive else None
         with self._run_lock:
@@ -845,6 +878,7 @@ class Middleware:
             "retries": (self.retry_policy.retries
                         if self.retry_policy is not None else None),
             "cost_feedback": self.cost_feedback is not None,
+            "shards": self.shards,
         }
 
     def _record_run(self, kind: str, graph, result, metrics_before,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 
 from repro.errors import EvaluationError
 from repro.runtime.incremental import aig_fingerprint
@@ -34,7 +35,7 @@ ALLOWED_CONFIG = (
     "merging", "scheduling", "workers", "unfold_depth", "max_unfold_depth",
     "violation_mode", "incremental", "pushdown", "columnar",
     "query_overhead", "on_source_failure", "deadline", "retry_policy",
-    "breaker_policy", "cost_feedback", "ledger",
+    "breaker_policy", "cost_feedback", "ledger", "shards",
 )
 
 #: Service defaults: incremental on (warm requests replay caches) and one
@@ -112,11 +113,70 @@ class TenantState:
 
 
 class TenantRegistry:
-    """Thread-safe name -> :class:`TenantState` map with warm reuse."""
+    """Thread-safe name -> :class:`TenantState` map with warm reuse.
 
-    def __init__(self):
+    Optionally bounded (docs/SERVICE.md): ``max_tenants`` evicts the
+    least-recently-used tenant on register overflow, ``idle_ttl`` sweeps
+    tenants whose last access (register or get) is older than the TTL.
+    Both sweeps run opportunistically on every register/get — no
+    background thread — and report each eviction through ``on_evict``
+    (called *outside* the registry lock, so the service layer can drop
+    response-cache entries and bump counters without deadlocking).
+    """
+
+    def __init__(self, max_tenants: int | None = None,
+                 idle_ttl: float | None = None,
+                 on_evict=None):
+        if max_tenants is not None and max_tenants < 1:
+            raise EvaluationError(
+                f"max_tenants must be a positive integer, "
+                f"got {max_tenants!r}")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise EvaluationError(
+                f"idle_ttl must be a positive number of seconds, "
+                f"got {idle_ttl!r}")
+        self.max_tenants = max_tenants
+        self.idle_ttl = idle_ttl
+        self.on_evict = on_evict
+        self.evictions = 0
         self._lock = threading.Lock()
         self._tenants: dict[str, TenantState] = {}
+        #: name -> monotonic last-access stamp (register or get).
+        self._last_access: dict[str, float] = {}
+
+    def _sweep_locked(self, protect: str | None = None) -> list[str]:
+        """Evict expired and over-limit tenants; returns evicted names.
+
+        Must run under ``self._lock``.  ``protect`` (the name being
+        registered or fetched) is never evicted by the LRU overflow
+        pass — the caller is about to use it.
+        """
+        evicted: list[str] = []
+        if self.idle_ttl is not None:
+            deadline = time.monotonic() - self.idle_ttl
+            for name, stamp in list(self._last_access.items()):
+                if stamp < deadline and name != protect:
+                    self._tenants.pop(name, None)
+                    self._last_access.pop(name, None)
+                    evicted.append(name)
+        if self.max_tenants is not None:
+            while len(self._tenants) > self.max_tenants:
+                oldest = min(
+                    (name for name in self._last_access
+                     if name != protect),
+                    key=self._last_access.__getitem__, default=None)
+                if oldest is None:
+                    break
+                self._tenants.pop(oldest, None)
+                self._last_access.pop(oldest, None)
+                evicted.append(oldest)
+        self.evictions += len(evicted)
+        return evicted
+
+    def _notify(self, evicted: list[str]) -> None:
+        if self.on_evict is not None:
+            for name in evicted:
+                self.on_evict(name)
 
     def register(self, name: str, aig, sources: dict,
                  config: dict | None = None) -> TenantState:
@@ -134,22 +194,33 @@ class TenantRegistry:
                 f"unknown middleware config key(s): {', '.join(unknown)}")
         candidate = TenantState(name, aig, sources, config)
         with self._lock:
+            self._last_access[name] = time.monotonic()
             existing = self._tenants.get(name)
             if (existing is not None
                     and existing.plan_key == candidate.plan_key):
-                return existing
-            self._tenants[name] = candidate
-            return candidate
+                evicted = self._sweep_locked(protect=name)
+                state = existing
+            else:
+                self._tenants[name] = candidate
+                evicted = self._sweep_locked(protect=name)
+                state = candidate
+        self._notify(evicted)
+        return state
 
     def get(self, name: str) -> TenantState:
         with self._lock:
+            evicted = self._sweep_locked(protect=name)
             state = self._tenants.get(name)
+            if state is not None:
+                self._last_access[name] = time.monotonic()
+        self._notify(evicted)
         if state is None:
             raise KeyError(name)
         return state
 
     def remove(self, name: str) -> bool:
         with self._lock:
+            self._last_access.pop(name, None)
             return self._tenants.pop(name, None) is not None
 
     def names(self) -> list[str]:

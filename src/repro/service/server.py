@@ -81,8 +81,12 @@ class EvaluationService:
     bytes the service already holds."""
 
     def __init__(self, max_inflight: int = 8, max_queued: int = 64,
-                 response_cache: int = 64):
-        self.registry = TenantRegistry()
+                 response_cache: int = 64,
+                 max_tenants: int | None = None,
+                 tenant_ttl: float | None = None):
+        self.registry = TenantRegistry(max_tenants=max_tenants,
+                                       idle_ttl=tenant_ttl,
+                                       on_evict=self._on_tenant_evicted)
         self.admission = AdmissionController(max_inflight, max_queued)
         self.coalescer = RequestCoalescer()
         self.response_cache_size = response_cache
@@ -91,6 +95,13 @@ class EvaluationService:
         from repro.obs.metrics import MetricsRegistry
         self.metrics = MetricsRegistry()
         self.started = time.time()
+
+    def _on_tenant_evicted(self, name: str) -> None:
+        """Registry eviction hook (LRU overflow / idle TTL): drop the
+        tenant's cached responses and count it in ``/metrics.json``."""
+        logger.info("tenant %r evicted from the registry", name)
+        self._drop_cached(name)
+        self.metrics.add("service_tenant_evictions", 1)
 
     # -- tenant management ---------------------------------------------
     def register_tenant(self, name: str, aig, sources: dict,

@@ -48,7 +48,7 @@ class TestSchema:
 
     def test_bad_type_rejected(self):
         with pytest.raises(SpecError):
-            Column("a", "BLOB")
+            Column("a", "DATETIME")
 
     def test_catalog_resolution(self):
         catalog = Catalog([SourceSchema("DB1", (relation("t", "a"),))])

@@ -201,6 +201,81 @@ class TestRegistry:
         assert version_vector(sources) != before
 
 
+class TestEviction:
+    @pytest.fixture(scope="class")
+    def world(self):
+        sources, dataset = make_loaded_sources("tiny", seed=5)
+        return build_hospital_aig(), sources, dataset
+
+    def test_lru_overflow_evicts_least_recently_used(self, world):
+        aig, sources, _ = world
+        evicted = []
+        registry = TenantRegistry(max_tenants=2, on_evict=evicted.append)
+        registry.register("a", aig, sources)
+        registry.register("b", aig, sources)
+        registry.register("c", aig, sources)
+        assert evicted == ["a"]
+        assert registry.names() == ["b", "c"]
+        assert registry.evictions == 1
+
+    def test_get_refreshes_lru_order(self, world):
+        aig, sources, _ = world
+        evicted = []
+        registry = TenantRegistry(max_tenants=2, on_evict=evicted.append)
+        registry.register("a", aig, sources)
+        registry.register("b", aig, sources)
+        registry.get("a")   # a is now the most recently used
+        registry.register("c", aig, sources)
+        assert evicted == ["b"]
+        assert registry.names() == ["a", "c"]
+
+    def test_idle_ttl_sweeps_stale_tenants(self, world):
+        aig, sources, _ = world
+        evicted = []
+        registry = TenantRegistry(idle_ttl=0.05, on_evict=evicted.append)
+        registry.register("a", aig, sources)
+        registry.register("b", aig, sources)
+        time.sleep(0.08)
+        # The accessed tenant is protected and refreshed; its stale
+        # sibling is swept by the same call.
+        state = registry.get("b")
+        assert state.name == "b"
+        assert evicted == ["a"]
+        with pytest.raises(KeyError):
+            registry.get("a")
+
+    def test_protected_tenant_never_evicted_by_overflow(self, world):
+        aig, sources, _ = world
+        registry = TenantRegistry(max_tenants=1)
+        registry.register("a", aig, sources)
+        state = registry.register("b", aig, sources)
+        assert registry.names() == ["b"]
+        assert registry.get("b") is state
+
+    def test_invalid_bounds_rejected(self, world):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            TenantRegistry(max_tenants=0)
+        with pytest.raises(EvaluationError):
+            TenantRegistry(idle_ttl=-1.0)
+
+    def test_service_counts_evictions_and_drops_cached_responses(
+            self, world):
+        aig, _, _ = world
+        service = EvaluationService(max_tenants=1)
+        sources_a, dataset = make_loaded_sources("tiny", seed=5)
+        service.register_tenant("a", aig, sources_a)
+        date = dataset.busiest_date()
+        service.evaluate("a", {"date": date})
+        assert any(key[0] == "a" for key in service._response_cache)
+        sources_b, _ = make_loaded_sources("tiny", seed=6)
+        service.register_tenant("b", aig, sources_b)
+        assert "a" not in service.registry
+        assert not any(key[0] == "a" for key in service._response_cache)
+        counters = service.metrics.snapshot()["counters"]
+        assert counters.get("service_tenant_evictions") == 1
+
+
 # ----------------------------------------------------------------------
 # full service over HTTP
 # ----------------------------------------------------------------------

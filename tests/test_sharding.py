@@ -1,0 +1,311 @@
+"""Sharded multi-process evaluation (docs/SHARDING.md).
+
+Covers the partition-eligibility analysis, byte-identity of sharded
+documents against the single-process engine, the cross-shard constraint
+reconcile pass (key duplicates split across shards, inclusions whose
+targets live entirely in another shard, empty shards), spawn-safety of
+the worker payloads, and the report/metrics surface.
+"""
+
+import pickle
+
+import pytest
+
+from repro.aig import AIG, assign, inh, query
+from repro.constraints import check_constraints
+from repro.dtd import parse_dtd
+from repro.errors import EvaluationAborted, EvaluationError
+from repro.relational.schema import Catalog, SourceSchema, relation
+from repro.relational.source import DataSource
+from repro.runtime.middleware import Middleware
+from repro.runtime.sharding import (
+    build_shard_tasks,
+    find_partition,
+    shutdown_shard_pool,
+)
+from repro.xmlmodel.serialize import serialize
+
+DTD_TEXT = """
+<!ELEMENT root (meta, list)>
+<!ELEMENT meta (#PCDATA)>
+<!ELEMENT list (entry*)>
+<!ELEMENT entry (id, ref, items)>
+<!ELEMENT items (item*)>
+<!ELEMENT item (trId)>
+<!ELEMENT id (#PCDATA)>
+<!ELEMENT ref (#PCDATA)>
+<!ELEMENT trId (#PCDATA)>
+"""
+
+SCHEMA = SourceSchema("S", (relation("rows", "id", "ref"),
+                            relation("items", "eid", "trId")))
+
+
+def build_aig() -> AIG:
+    """root -> (meta, list), list -> entry*: the partition production sits
+    one level below the root, so splice-depth offsetting is exercised."""
+    aig = AIG(parse_dtd(DTD_TEXT), Catalog([SCHEMA]), root_inh=("title",))
+    aig.inh("entry", "id", "ref")
+    aig.inh("items", "id")
+    aig.inh("item", "trId")
+    aig.rule("root", inh={"meta": assign(val=inh("title"))})
+    aig.rule("list", inh={"entry": query(
+        "select r.id, r.ref from S:rows r")})
+    aig.rule("entry", inh={
+        "id": assign(val=inh("id")),
+        "ref": assign(val=inh("ref")),
+        "items": assign(id=inh("id")),
+    })
+    aig.rule("items", inh={"item": query(
+        "select i.trId from S:items i where i.eid = $id")})
+    aig.rule("item", inh={"trId": assign(val=inh("trId"))})
+    # entry ids unique within the whole list (cross-shard duplicate
+    # detection) ...
+    aig.key("list", "entry", "id")
+    # ... refs resolve against *any* entry's id (global containment) ...
+    aig.inclusion("list", "entry", "ref", "entry", "id")
+    # ... and per-entry item keys give shard-local contexts whose order
+    # paths must not collide after the merge offset.
+    aig.key("entry", "item", "trId")
+    return aig.validate()
+
+
+def make_sources(rows, items=()):
+    source = DataSource(SCHEMA)
+    if rows:
+        source.load_rows("rows", list(rows))
+    if items:
+        source.load_rows("items", list(items))
+    return {"S": source}
+
+
+def run(rows, items=(), shards=1, mode="report", **kwargs):
+    aig = build_aig()
+    middleware = Middleware(aig, make_sources(rows, items),
+                            violation_mode=mode, shards=shards, **kwargs)
+    report = middleware.evaluate({"title": "T"})
+    return aig, report
+
+
+def baseline(rows, items=()):
+    aig, report = run(rows, items, shards=1)
+    xml = serialize(report.document, indent=2)
+    verdict = sorted(str(v) for v in check_constraints(report.document,
+                                                       aig.constraints))
+    return xml, verdict
+
+
+def assert_equivalent(rows, items=(), shards=(2, 3, 4)):
+    base_xml, base_verdict = baseline(rows, items)
+    for count in shards:
+        aig, report = run(rows, items, shards=count)
+        assert report.shards == count
+        assert serialize(report.document, indent=2) == base_xml
+        tree_verdict = sorted(str(v) for v in check_constraints(
+            report.document, aig.constraints))
+        assert tree_verdict == base_verdict
+        reconciled = sorted(str(v) for v in report.violations)
+        assert reconciled == base_verdict
+    return base_verdict
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_shard_pool()
+
+
+class TestFindPartition:
+    def test_hospital_aig_partitions_at_the_root_star(self):
+        from repro.hospital import build_hospital_aig
+        spec = find_partition(build_hospital_aig())
+        assert spec is not None
+        assert spec.chain == ("report",)
+        assert spec.splice_depth == 0
+
+    def test_chain_through_a_sequence_production(self):
+        spec = find_partition(build_aig())
+        assert spec is not None
+        assert spec.chain == ("root", "list")
+        assert spec.star_type == "list"
+        assert spec.splice_depth == 1
+
+    def test_star_free_aig_is_not_partitionable(self):
+        dtd = parse_dtd("<!ELEMENT root (meta)> <!ELEMENT meta (#PCDATA)>")
+        aig = AIG(dtd, Catalog([]), root_inh=("title",))
+        aig.rule("root", inh={"meta": assign(val=inh("title"))})
+        assert find_partition(aig.validate()) is None
+
+    def test_guarded_aig_is_not_partitionable(self):
+        from repro.compilation.specialize import specialize
+        compiled = specialize(build_aig())
+        assert compiled.guards
+        assert find_partition(compiled) is None
+
+    def test_non_partitionable_falls_back_single_process(self):
+        dtd = parse_dtd("<!ELEMENT root (meta)> <!ELEMENT meta (#PCDATA)>")
+        aig = AIG(dtd, Catalog([]), root_inh=("title",))
+        aig.rule("root", inh={"meta": assign(val=inh("title"))})
+        middleware = Middleware(aig.validate(), {}, shards=4,
+                                violation_mode="report")
+        report = middleware.evaluate({"title": "T"})
+        assert report.shards == 1
+        assert report.document.find("meta").text_value() == "T"
+
+    def test_shards_must_be_a_positive_int(self):
+        aig = build_aig()
+        with pytest.raises(EvaluationError):
+            Middleware(aig, make_sources([]), shards=0)
+        with pytest.raises(EvaluationError):
+            Middleware(aig, make_sources([]), shards=True)
+
+
+class TestShardedEquivalence:
+    def test_satisfied_data_is_byte_identical(self):
+        rows = [(f"e{i}", f"e{(i + 1) % 6}") for i in range(6)]
+        items = [(f"e{i}", f"t{i}") for i in range(6)]
+        verdict = assert_equivalent(rows, items)
+        assert verdict == []
+
+    def test_key_duplicated_across_two_shards(self):
+        # Two rows with the same entry id sort adjacently, so a 2-way
+        # split puts one in each shard: no shard sees a duplicate
+        # locally — only the reconciled count crosses the threshold.
+        rows = [("dup", "dup"), ("dup", "dup")]
+        verdict = assert_equivalent(rows, shards=(2,))
+        assert len(verdict) == 1
+        assert "duplicate" in verdict[0]
+
+    def test_inclusion_targets_entirely_in_another_shard(self):
+        # Every ref points at entry "z", which sorts last: at 2 or 3
+        # shards all sources sit in earlier shards than their target, so
+        # any shard-local containment check would false-positive.
+        rows = [("a", "z"), ("b", "z"), ("c", "z"), ("z", "z")]
+        verdict = assert_equivalent(rows)
+        assert verdict == []
+
+    def test_inclusion_violation_spanning_shards(self):
+        rows = [("a", "missing"), ("b", "a"), ("c", "a"), ("d", "a")]
+        verdict = assert_equivalent(rows)
+        assert len(verdict) == 1
+        assert "missing" in verdict[0]
+
+    def test_local_contexts_keep_distinct_order_paths(self):
+        # Two entries in different shards each violate the per-entry
+        # item key with the *same* value: if the merge offset collapsed
+        # their order paths, the reconciled verdict would lose one of
+        # the two (identical-string) violations.
+        rows = [("a", "a"), ("b", "b")]
+        items = [("a", "t1"), ("a", "t1"), ("b", "t1"), ("b", "t1")]
+        verdict = assert_equivalent(rows, items, shards=(2,))
+        assert len(verdict) == 2
+        assert verdict[0] == verdict[1]
+
+    def test_empty_shards(self):
+        # 2 rows over 4 shards leaves two key ranges empty.
+        rows = [("a", "a"), ("b", "b")]
+        base_xml, _ = baseline(rows)
+        _, report = run(rows, shards=4)
+        assert serialize(report.document, indent=2) == base_xml
+        assert sorted(report.shard_rows) == [0, 0, 1, 1]
+
+    def test_empty_driving_query(self):
+        assert_equivalent([], shards=(2,))
+
+    def test_abort_mode_raises_with_reconciled_verdict(self):
+        rows = [("dup", "dup"), ("dup", "dup")]
+        _, base_verdict = baseline(rows)
+        with pytest.raises(EvaluationAborted) as excinfo:
+            run(rows, shards=2, mode="abort")
+        assert sorted(str(v) for v in
+                      excinfo.value.violations) == base_verdict
+
+    def test_abort_mode_passes_clean_data(self):
+        rows = [("a", "b"), ("b", "a")]
+        _, report = run(rows, shards=2, mode="abort")
+        assert report.shards == 2
+        assert report.violations == []
+
+
+class TestSpawnSafety:
+    def test_payloads_pickle_with_feedback_and_incremental(self, tmp_path):
+        # The regression: a task must never capture sqlite connections,
+        # tracers, ledgers, or feedback stores — even when the parent
+        # middleware has all of them enabled.
+        from repro.obs import CostFeedbackStore, Tracer
+        aig = build_aig()
+        middleware = Middleware(
+            aig, make_sources([("a", "a"), ("b", "b")]),
+            violation_mode="report", shards=2, incremental=True,
+            cost_feedback=CostFeedbackStore(), tracer=Tracer(),
+            ledger=str(tmp_path / "ledger.jsonl"))
+        built = build_shard_tasks(middleware, {"title": "T"})
+        assert built is not None
+        _, tasks, total_rows = built
+        assert total_rows == 2 and len(tasks) == 2
+        for task in tasks:
+            payload = pickle.dumps(task)
+            clone = pickle.loads(payload)
+            assert set(clone.config) == {
+                "merging", "scheduling", "workers", "unfold_depth",
+                "max_unfold_depth", "pushdown", "query_overhead",
+                "emulate_overheads", "columnar"}
+
+    def test_sharded_run_with_feedback_matches_plain(self, tmp_path):
+        from repro.obs import CostFeedbackStore, Tracer
+        rows = [("a", "b"), ("b", "a")]
+        base_xml, _ = baseline(rows)
+        aig = build_aig()
+        middleware = Middleware(
+            aig, make_sources(rows), violation_mode="report", shards=2,
+            incremental=True, cost_feedback=CostFeedbackStore(),
+            tracer=Tracer(), ledger=str(tmp_path / "ledger.jsonl"))
+        report = middleware.evaluate({"title": "T"})
+        assert serialize(report.document, indent=2) == base_xml
+
+
+class TestReportAndMetrics:
+    def test_report_fields(self):
+        from repro.obs import Tracer
+        rows = [(f"e{i}", f"e{i}") for i in range(5)]
+        aig = build_aig()
+        tracer = Tracer()
+        middleware = Middleware(aig, make_sources(rows),
+                                violation_mode="report", shards=3,
+                                tracer=tracer)
+        report = middleware.evaluate({"title": "T"})
+        assert report.shards == 3
+        assert sum(report.shard_rows) == 5
+        assert report.ipc_bytes > 0
+        assert report.reconcile_seconds >= 0.0
+        assert len(report.shard_peak_rss) == 3
+        assert all(rss > 0 for rss in report.shard_peak_rss)
+        assert len(report.shard_cpu_seconds) == 3
+        assert middleware._config_dict()["shards"] == 3
+        metrics = tracer.metrics.snapshot()
+        assert metrics["counters"]["sharded_evaluations"] == 1
+        assert metrics["gauges"]["shard_count"] == 3
+        assert metrics["gauges"]["shard_ipc_bytes"] == report.ipc_bytes
+        assert metrics["gauges"]["shard_rows.0"] == report.shard_rows[0]
+
+    def test_fallback_counts_in_metrics(self):
+        from repro.obs import Tracer
+        dtd = parse_dtd("<!ELEMENT root (meta)> <!ELEMENT meta (#PCDATA)>")
+        aig = AIG(dtd, Catalog([]), root_inh=("title",))
+        aig.rule("root", inh={"meta": assign(val=inh("title"))})
+        tracer = Tracer()
+        middleware = Middleware(aig.validate(), {}, shards=2,
+                                violation_mode="report", tracer=tracer)
+        middleware.evaluate({"title": "T"})
+        assert tracer.metrics.snapshot()["counters"]["shard_fallbacks"] == 1
+
+
+class TestOracleAxis:
+    def test_oracle_shards_axis_on_a_partitionable_seed(self):
+        from repro.fuzz import generate_scenario, run_oracle
+        spec = generate_scenario(3, violate=True)
+        report = run_oracle(spec, configs=("shards",))
+        names = {result.config for result in report.results}
+        assert {"shards-2", "shards-3", "shards-4",
+                "shards-abort"} <= names
+        assert report.ok, [str(d) for d in report.divergences]
