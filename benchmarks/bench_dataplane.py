@@ -60,7 +60,7 @@ where i.day = $day
 """
 
 
-def build_scenario(row_count):
+def build_scenario(row_count, backend=None):
     """A wide single-source catalog AIG plus its loaded source."""
     schema = SourceSchema("WH", (relation(
         "items", "sku", "title", "price", "vendor", "day",
@@ -82,7 +82,7 @@ def build_scenario(row_count):
         "grade": assign(val=Const("retail")),
         "channel": assign(val=Const("online")),
     })
-    source = DataSource(schema)
+    source = DataSource(schema, backend=backend)
     source.load_rows("items", [
         (f"sku{i:07d}", f"Widget {i} deluxe", str(10 + i % 997),
          f"vendor{i % 37}", DAY, *(f"filler-{i}-{j}" for j in range(8)))
@@ -214,3 +214,69 @@ def test_dataplane_planes(benchmark):
     floor = MEDIUM_THROUGHPUT_FLOOR * medium["materialized"]["rows_per_sec"]
     assert medium["streaming"]["rows_per_sec"] >= floor, \
         "streaming plane slower than 0.9x materialized on medium"
+
+
+#: Backend-comparison scale (rows) and the specs measured when available.
+BACKEND_BENCH_ROWS = 2_000
+
+
+def _backend_pass(backend):
+    aig, sources = build_scenario(BACKEND_BENCH_ROWS, backend=backend)
+    load_done = time.perf_counter()
+    tracer = Tracer()
+    middleware = Middleware(aig, sources, tracer=tracer)
+    result = middleware.evaluate({"day": DAY})
+    xml = serialize(result.document, indent=2)
+    evaluate_done = time.perf_counter()
+    rewrites = tracer.metrics.counter("ship_rewrites")
+    for source in sources.values():
+        source.close()
+    return xml, evaluate_done - load_done, rewrites
+
+
+def test_dataplane_backends(benchmark):
+    """Per-backend evaluation cost over identical data (docs/BACKENDS.md).
+
+    SQLite and the file backend always run; DuckDB joins when its driver
+    is installed.  Byte-identity across backends is a hard assertion —
+    this is the bench-side echo of the conformance suite — and the
+    recorded wall times land under their own ``dataplane_backends`` key,
+    so the regression gate only compares backends measured on both sides.
+    """
+    from repro.relational import backend_available
+
+    specs = ["sqlite", "file"]
+    if backend_available("duckdb"):
+        specs.append("duckdb")
+
+    def run_backends():
+        cells = {}
+        for spec in specs:
+            xml, wall, rewrites = _backend_pass(spec)
+            cells[spec] = {
+                "rows": BACKEND_BENCH_ROWS,
+                "wall_seconds": round(wall, 4),
+                "rows_per_sec": round(BACKEND_BENCH_ROWS / wall, 1),
+                "ship_rewrites": rewrites,
+                "sha256": hashlib.sha256(xml.encode()).hexdigest(),
+            }
+        return cells
+
+    cells = benchmark.pedantic(run_backends, rounds=1, iterations=1)
+
+    digests = {cell["sha256"] for cell in cells.values()}
+    assert len(digests) == 1, "backends produced diverging documents"
+    # the flat catalog plan ships nothing (its only parameter is the
+    # scalar $day), so rewrites stay 0 here on every backend; the
+    # rewrite-exercising differential lives in tests/test_backends.py
+    assert all(cell["ship_rewrites"] == 0 for cell in cells.values())
+
+    lines = [f"Backend comparison ({BACKEND_BENCH_ROWS} rows, "
+             f"evaluate + serialize)",
+             f"{'backend':>8s}{'wall s':>9s}{'rows/s':>10s}{'rewrites':>10s}"]
+    for spec, cell in cells.items():
+        lines.append(f"{spec:>8s}{cell['wall_seconds']:>9.3f}"
+                     f"{cell['rows_per_sec']:>10.1f}"
+                     f"{cell['ship_rewrites']:>10d}")
+    report("dataplane_backends", "\n".join(lines))
+    record_json("dataplane_backends", cells, path=BENCH_DATAPLANE_JSON)

@@ -82,13 +82,42 @@ def _export_observability(tracer, args) -> None:
         print(text_summary(tracer))
 
 
+def _backend_value(value: str):
+    """``--backend`` value: one spec, or ``DB1=file,DB3=duckdb`` pairs."""
+    from repro.relational import registered_backends
+
+    def checked(spec: str) -> str:
+        base = spec.split(":", 1)[0]
+        if base not in registered_backends():
+            raise argparse.ArgumentTypeError(
+                f"unknown backend {base!r} "
+                f"(registered: {', '.join(registered_backends())})")
+        return spec
+    if "=" not in value:
+        return checked(value)
+    assignment = {}
+    for part in value.split(","):
+        name, _, spec = part.partition("=")
+        if not name or not spec:
+            raise argparse.ArgumentTypeError(
+                f"bad assignment {part!r} "
+                f"(expected SOURCE=SPEC, e.g. DB1=file)")
+        assignment[name.strip()] = checked(spec.strip())
+    return assignment
+
+
 def _demo(args) -> int:
     from repro import Middleware, Network, serialize
     from repro.datagen import make_loaded_sources
     from repro.hospital import build_hospital_aig
 
     aig = build_hospital_aig()
-    sources, dataset = make_loaded_sources(args.scale)
+    backend = args.backend
+    sources, dataset = make_loaded_sources(args.scale, backend=backend)
+    if backend is not None:
+        assigned = ", ".join(f"{name}={source.backend.spec}"
+                             for name, source in sorted(sources.items()))
+        print(f"backends: {assigned}")
     date = args.date or dataset.busiest_date()
     tracer = _make_tracer(args)
     retry_policy = None
@@ -484,6 +513,12 @@ def main(argv: list[str] | None = None) -> int:
                       choices=["tiny", "small", "medium", "large"])
     demo.add_argument("--date", default=None)
     demo.add_argument("--mbps", type=float, default=1.0)
+    demo.add_argument("--backend", type=_backend_value, default=None,
+                      metavar="SPEC",
+                      help="source backend: one spec for all sources "
+                           "(sqlite, duckdb, file, file:parquet) or "
+                           "per-source pairs DB1=file,DB3=duckdb "
+                           "(unlisted sources stay sqlite)")
     demo.add_argument("--no-merge", action="store_true")
     demo.add_argument("--dynamic", action="store_true")
     demo.add_argument("--workers", type=_workers_value, default=1,

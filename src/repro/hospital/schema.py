@@ -50,6 +50,19 @@ def hospital_catalog() -> Catalog:
     return Catalog(SOURCE_SCHEMAS)
 
 
-def make_sources() -> dict[str, DataSource]:
-    """Fresh, empty sqlite-backed instances of DB1..DB4."""
-    return {schema.source: DataSource(schema) for schema in SOURCE_SCHEMAS}
+def make_sources(backend: str | dict[str, str] | None = None
+                 ) -> dict[str, DataSource]:
+    """Fresh, empty instances of DB1..DB4.
+
+    ``backend`` selects the storage engine: ``None`` (sqlite), one
+    backend spec for every source (``"file:csv"``), or a mapping of
+    source name to spec for mixed federations
+    (``{"DB1": "duckdb", "DB3": "file"}``; unmapped sources default
+    to sqlite).  Specs are resolved by
+    :func:`repro.relational.backends.create_backend`.
+    """
+    if backend is None or isinstance(backend, str):
+        backend = {schema.source: backend for schema in SOURCE_SCHEMAS}
+    return {schema.source:
+            DataSource(schema, backend=backend.get(schema.source))
+            for schema in SOURCE_SCHEMAS}

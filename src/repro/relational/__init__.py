@@ -2,7 +2,9 @@
 
 The paper evaluates AIGs over several relational databases that "may have
 different systems and may even reside in different sites".  Here each logical
-source is a :class:`DataSource` backed by its own ``sqlite3`` database, plus a
+source is a :class:`DataSource` behind a pluggable storage backend
+(``sqlite3`` by default; DuckDB and a read-only file backend live in
+:mod:`repro.relational.backends`, see docs/BACKENDS.md), plus a
 distinguished :class:`Mediator` source where shipped results are cached and
 synthesized attributes are computed.  Inter-site data transfer is simulated by
 :class:`Network` (the paper, too, *simulated* transfers at configurable
@@ -10,6 +12,14 @@ bandwidths).  :mod:`repro.relational.statistics` implements the per-source
 "query costing API" inputs: table cardinalities, distinct counts, and widths.
 """
 
+from repro.relational.backends import (
+    Backend,
+    BackendCapabilities,
+    BackendUnavailable,
+    backend_available,
+    create_backend,
+    registered_backends,
+)
 from repro.relational.schema import Column, RelationSchema, SourceSchema, Catalog
 from repro.relational.source import (
     DataSource,
@@ -23,6 +33,12 @@ from repro.relational.statistics import TableStats, collect_stats, StatisticsCat
 from repro.relational.xmlsource import ShredSpec, shred, shred_spec, xml_source
 
 __all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendUnavailable",
+    "backend_available",
+    "create_backend",
+    "registered_backends",
     "Column",
     "RelationSchema",
     "SourceSchema",

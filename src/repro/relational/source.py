@@ -1,17 +1,23 @@
-"""Data sources backed by ``sqlite3``.
+"""Data sources behind pluggable backends (sqlite3 by default).
 
-Each :class:`DataSource` owns an independent SQLite database — the stand-in
-for the paper's per-site DB2 instances (see DESIGN.md, substitutions).  The
+Each :class:`DataSource` owns an independent database — the stand-in for
+the paper's per-site DB2 instances (see DESIGN.md, substitutions).  The
 interface mirrors what the middleware needs: execute a query, create and
 populate a temporary table with shipped inputs, and expose timing so measured
 evaluation costs can feed the cost model.  The :class:`Mediator` is itself a
 source (the paper treats it as "a special data source Mediator") where query
 results are cached and synthesized-attribute computations run.
+
+Engine specifics — opening connections, cursor semantics, transactions,
+deadline interruption, bulk loading — live in
+:mod:`repro.relational.backends` (docs/BACKENDS.md); this module keeps the
+engine-agnostic orchestration: pooling, version counters, fault injection,
+metrics, and the columnar batch plane.  ``DataSource(schema)`` without a
+``backend`` argument behaves exactly as the historical sqlite3-only class.
 """
 
 from __future__ import annotations
 
-import itertools
 import logging
 import re
 import sqlite3
@@ -28,13 +34,12 @@ logger = logging.getLogger("repro.source")
 #: Reserved name of the mediator pseudo-source.
 MEDIATOR_NAME = "Mediator"
 
-_shared_memory_counter = itertools.count(1)
-
-#: Compiled-statement cache size per connection.  The execution engine
-#: re-issues structurally identical statements (shipping inserts, cached
-#: plan queries across evaluations), so a larger cache means SQLite
-#: re-uses prepared statements instead of re-parsing.
-STATEMENT_CACHE_SIZE = 256
+#: Re-exported for backward compatibility (the constant moved into the
+#: sqlite3 backend with the rest of the engine specifics).
+from repro.relational.backends.sqlite3_backend import (  # noqa: E402
+    STATEMENT_CACHE_SIZE,
+    Sqlite3Backend,
+)
 
 #: Upper bound on distinct column layouts kept by :func:`intern_columns`.
 #: Long-lived processes (fuzz loops, a resident middleware) see an
@@ -300,36 +305,52 @@ def iter_result_rows(result):
 
 
 class DataSource:
-    """One logical relational source (its own SQLite database).
+    """One logical relational source (its own database, backend-pluggable).
 
     ``schema`` describes the base relations; temp tables for shipped inputs
     are created on demand and live beside them.  All execution is instrumented:
     ``last_execution_seconds`` holds the wall-clock time of the most recent
     ``execute`` call, and ``total_queries``/``total_seconds`` accumulate.
 
+    ``backend`` selects the engine (docs/BACKENDS.md): a registry spec
+    string (``"sqlite"``, ``"duckdb"``, ``"file:csv"``, ...) or a
+    constructed :class:`~repro.relational.backends.Backend`.  The default
+    is the historical in-memory sqlite3 engine; ``path`` is a sqlite-only
+    shorthand for a file-backed database and cannot be combined with an
+    explicit backend.
+
     Thread-safety rules (see docs/INTERNALS.md, "Execution concurrency
     model"): a source is *single-flight* — at most one query may run against
     it at a time — but that query may come from any thread.  The concurrent
     executor acquires a pooled connection per source worker
     (:meth:`acquire_connection`) and returns it afterwards; pooled
-    connections keep their compiled-statement caches warm across runs.
-    Connections are opened with ``check_same_thread=False`` because the
-    pool hands a connection to whichever worker thread serves the source;
-    exclusivity is enforced by the executor, not by SQLite.
+    connections keep their caches warm across runs.  Exclusivity is
+    enforced by the executor, not by the engine.
     """
 
-    def __init__(self, schema: SourceSchema, path: str | None = None):
+    def __init__(self, schema: SourceSchema, path: str | None = None,
+                 backend=None):
+        from repro.relational.backends import create_backend
         self.schema = schema
         self.name = schema.source
-        if path is None:
-            # A named shared-cache in-memory database: other connections in
-            # this process (the Federation, pooled worker connections) can
-            # open or ATTACH it by URI and see the same data.
-            self.uri = (f"file:repro_{schema.source}_"
-                        f"{next(_shared_memory_counter)}"
-                        f"?mode=memory&cache=shared")
+        if backend is None:
+            backend = Sqlite3Backend(schema, path=path)
+        elif path is not None:
+            raise EvaluationError(
+                "DataSource: pass either path= (sqlite shorthand) or "
+                "backend=, not both")
         else:
-            self.uri = f"file:{path}"
+            backend = create_backend(backend, schema)
+        self.backend = backend
+        #: SQLite URI other connections can ATTACH (None for backends the
+        #: Federation must materialize instead).
+        self.uri = backend.attach_uri()
+        #: Driver errors wrapped into EvaluationError.  sqlite3.Error is
+        #: always included: the mediator-side machinery (fault injectors,
+        #: deadline aborts via QueryDeadlineExceeded) raises sqlite3
+        #: errors regardless of the backend behind the source.
+        self._error_types = tuple(dict.fromkeys(
+            (*backend.error_types, sqlite3.Error)))
         self._closed = False
         self._pool: list[sqlite3.Connection] = []
         self._pool_lock = threading.Lock()
@@ -363,15 +384,13 @@ class DataSource:
             for relation_schema in schema.relations}
         self._create_base_tables()
 
-    def _connect(self) -> sqlite3.Connection:
-        # Autocommit (isolation_level=None): shared-cache readers must not
-        # hold transactions open, or cross-connection access deadlocks.
-        connection = sqlite3.connect(
-            self.uri, uri=True, isolation_level=None,
-            check_same_thread=False,
-            cached_statements=STATEMENT_CACHE_SIZE)
-        connection.execute("PRAGMA synchronous=OFF")
-        return connection
+    @property
+    def capabilities(self):
+        """The backend's :class:`~repro.relational.backends.BackendCapabilities`."""
+        return self.backend.capabilities
+
+    def _connect(self):
+        return self.backend.connect()
 
     # ------------------------------------------------------------------
     # connection pool (one leased connection per concurrent worker)
@@ -389,7 +408,7 @@ class DataSource:
         if self.fault_injector is not None:
             try:
                 self.fault_injector.on_acquire(self.name)
-            except sqlite3.Error as error:
+            except self._error_types as error:
                 raise EvaluationError(
                     f"source {self.name!r}: acquiring a connection failed: "
                     f"{error}") from error
@@ -407,7 +426,7 @@ class DataSource:
             self.leases_outstanding += 1
         return connection
 
-    def release_connection(self, connection: sqlite3.Connection) -> None:
+    def release_connection(self, connection) -> None:
         """Return a leased connection to the pool for later reuse.
 
         A connection handed back mid-transaction (a shipment or query was
@@ -417,19 +436,15 @@ class DataSource:
         transaction".  If even the rollback fails the connection is closed
         instead of pooled.
         """
-        dirty = False
-        try:
-            if connection.in_transaction:
-                connection.execute("ROLLBACK")
-        except sqlite3.Error as error:
-            dirty = True
+        dirty = not self.backend.rollback_open(connection)
+        if dirty:
             logger.warning("source %s: rollback of a returned pooled "
-                           "connection failed (%s); closing it instead of "
-                           "pooling", self.name, error)
+                           "connection failed; closing it instead of "
+                           "pooling", self.name)
         with self._pool_lock:
             self.leases_outstanding = max(0, self.leases_outstanding - 1)
             if self._closed or dirty:
-                connection.close()
+                self.backend.close_connection(connection)
             else:
                 self._pool.append(connection)
 
@@ -439,20 +454,20 @@ class DataSource:
             return len(self._pool)
 
     def _create_base_tables(self) -> None:
-        for relation_schema in self.schema.relations:
-            self.connection.execute(relation_schema.create_table_sql())
-        self.connection.commit()
+        self.backend.create_base_tables(self.connection)
 
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
     def load_rows(self, relation_name: str, rows: list[tuple]) -> None:
-        """Bulk-insert rows into a base relation."""
+        """Bulk-insert rows into a base relation.
+
+        This is the materialization path and works on every backend —
+        including read-only ones, where the backend writes its files
+        instead of issuing SQL INSERTs.
+        """
         relation_schema = self.schema.relation_schema(relation_name)
-        placeholders = ", ".join("?" * len(relation_schema.columns))
-        self.connection.executemany(
-            f"INSERT INTO {relation_name} VALUES ({placeholders})", rows)
-        self.connection.commit()
+        self.backend.load_rows(self.connection, relation_schema, rows)
         self.bump_version(relation_name)
 
     # ------------------------------------------------------------------
@@ -501,48 +516,57 @@ class DataSource:
     # execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: tuple = (),
-                connection: sqlite3.Connection | None = None,
+                connection=None,
                 deadline: float | None = None) -> ResultSet:
         """Run a SELECT, returning a ResultSet; timing is recorded.
 
         ``connection`` selects a leased pool connection (concurrent
         executor); the source's own connection is used by default.
-        ``deadline`` bounds *in-flight* work in seconds: SQLite's progress
-        handler interrupts the running VM once it elapses, and injected
-        slow faults (Python-side sleeps the handler can never see) are
-        clipped at the deadline inside :meth:`_faulted_sleep`.  Both paths
-        raise :class:`~repro.resilience.retry.QueryDeadlineExceeded`
-        wrapped in an :class:`~repro.errors.EvaluationError`.  A statement
-        that *completes* keeps its rows even when total elapsed time lands
+        ``deadline`` bounds *in-flight* work in seconds: on backends that
+        support interruption (``capabilities.supports_deadlines``) the
+        running statement is aborted once it elapses, and injected slow
+        faults (Python-side sleeps the engine can never see) are clipped
+        at the deadline inside :meth:`_faulted_sleep`.  Both paths raise
+        :class:`~repro.resilience.retry.QueryDeadlineExceeded` wrapped in
+        an :class:`~repro.errors.EvaluationError`.  A statement that
+        *completes* keeps its rows even when total elapsed time lands
         slightly past the deadline — discarding finished work would make a
         near-deadline query deterministically fail every retry despite the
         backend succeeding.
+
+        Read-only backends (``supports_writes=False``) reject write
+        statements here; their data arrives through :meth:`load_rows`.
         """
         conn = connection if connection is not None else self.connection
+        head = sql.lstrip()[:16].upper()
+        is_read = head.startswith(("SELECT", "WITH", "PRAGMA", "EXPLAIN"))
+        if not is_read and not self.backend.capabilities.supports_writes:
+            raise EvaluationError(
+                f"source {self.name!r}: backend "
+                f"{self.backend.capabilities.backend!r} is read-only; "
+                f"rejected: {sql}")
         start = time.perf_counter()
+        deadline_installed = False
         try:
             if self.fault_injector is not None:
                 delay = self.fault_injector.on_statement(self.name)
                 if delay > 0.0:
                     self._faulted_sleep(delay, deadline, start)
             if deadline is not None:
-                from repro.resilience.retry import (
-                    PROGRESS_HANDLER_OPCODES, make_deadline_handler)
-                conn.set_progress_handler(
-                    make_deadline_handler(time.perf_counter, start, deadline),
-                    PROGRESS_HANDLER_OPCODES)
+                deadline_installed = self.backend.install_deadline(
+                    conn, start, deadline)
             try:
-                cursor = conn.execute(sql, params)
+                cursor = self.backend.execute(conn, sql, params)
                 if self.batch_rows:
                     batched = BatchedResultSet.from_cursor(
-                        intern_columns(d[0] for d in cursor.description)
-                        if cursor.description else [],
+                        intern_columns(self.backend.describe(cursor)),
                         cursor, self.batch_rows, self._intern_pool())
                     rows = None
                 else:
-                    rows = cursor.fetchall()
-            except sqlite3.OperationalError as error:
-                if (deadline is not None and "interrupt" in str(error)
+                    rows = self.backend.fetch_rows(cursor)
+            except self._error_types as error:
+                if (deadline is not None
+                        and self.backend.is_deadline_interrupt(error)
                         and time.perf_counter() - start > deadline):
                     from repro.resilience.retry import QueryDeadlineExceeded
                     raise QueryDeadlineExceeded(
@@ -550,23 +574,20 @@ class DataSource:
                     ) from error
                 raise
             finally:
-                if deadline is not None:
-                    conn.set_progress_handler(None, 0)
-        except sqlite3.Error as error:
+                if deadline_installed:
+                    self.backend.clear_deadline(conn)
+        except self._error_types as error:
             raise EvaluationError(
                 f"source {self.name!r}: SQL failed: {error}\n  {sql}") from error
         elapsed = time.perf_counter() - start
         self.last_execution_seconds = elapsed
         self.total_queries += 1
         self.total_seconds += elapsed
-        head = sql.lstrip()[:16].upper()
-        if not head.startswith(("SELECT", "WITH", "PRAGMA", "EXPLAIN")):
+        if not is_read:
             self._note_write(sql)
         if rows is None:
             return batched
-        columns = (intern_columns(description[0] for description
-                                  in cursor.description)
-                   if cursor.description else [])
+        columns = intern_columns(self.backend.describe(cursor))
         return ResultSet(columns, rows)
 
     def _intern_pool(self) -> dict:
@@ -599,8 +620,12 @@ class DataSource:
         time.sleep(delay)
 
     def execute_script(self, sql: str) -> None:
-        self.connection.executescript(sql)
-        self.connection.commit()
+        if not self.backend.capabilities.supports_writes:
+            raise EvaluationError(
+                f"source {self.name!r}: backend "
+                f"{self.backend.capabilities.backend!r} is read-only; "
+                f"scripts are not allowed")
+        self.backend.execute_script(self.connection, sql)
         self._note_write(sql)
 
     # ------------------------------------------------------------------
@@ -614,54 +639,62 @@ class DataSource:
         This is the landing step of the paper's "results are then shipped
         (via the mediator) to every dependent site".  The whole shipment
         lands as one batch: DROP/CREATE plus a single ``executemany``
-        insert inside one explicit transaction, so SQLite journals the
+        insert inside one explicit transaction, so the engine journals the
         table once instead of once per statement.  ``rows`` may be any
         iterable of row tuples — the columnar plane streams batches
         through without materializing a row list.
+
+        Backends without temp-table support never get here on the normal
+        path — the execution engine rewrites their ships into inline
+        literal row sets (docs/BACKENDS.md) — so a call is a planner bug
+        and raises.
         """
+        if not self.backend.capabilities.supports_temp_tables:
+            raise EvaluationError(
+                f"source {self.name!r}: backend "
+                f"{self.backend.capabilities.backend!r} cannot receive "
+                f"shipped temp tables (the engine should have rewritten "
+                f"this ship inline)")
         conn = connection if connection is not None else self.connection
         if name is None:
             self._temp_counter += 1
             name = f"__ship_{self._temp_counter}"
-        quoted = ", ".join(f'"{c}"' for c in columns)
+        backend = self.backend
+        ddl_columns, rows = backend.temp_columns_ddl(columns, rows)
         try:
             if self.fault_injector is not None:
                 delay = self.fault_injector.on_statement(self.name)
                 if delay > 0.0:
                     time.sleep(delay)
-            conn.execute("BEGIN")
-            conn.execute(f'DROP TABLE IF EXISTS "{name}"')
-            conn.execute(f'CREATE TABLE "{name}" ({quoted})')
+            backend.begin(conn)
+            backend.execute(conn, f'DROP TABLE IF EXISTS "{name}"')
+            backend.execute(conn, f'CREATE TABLE "{name}" ({ddl_columns})')
             if not isinstance(rows, list) or rows:
                 placeholders = ", ".join("?" * len(columns))
-                conn.executemany(
-                    f'INSERT INTO "{name}" VALUES ({placeholders})', rows)
-            conn.execute("COMMIT")
-        except sqlite3.Error as error:
-            try:
-                if conn.in_transaction:
-                    conn.execute("ROLLBACK")
-            except sqlite3.Error as rollback_error:
+                backend.executemany(
+                    conn, f'INSERT INTO "{name}" VALUES ({placeholders})',
+                    rows)
+            backend.commit(conn)
+        except self._error_types as error:
+            if not backend.rollback_open(conn):
                 # A swallowed rollback hides a dead connection: the next
                 # statement on it fails with a confusing open-transaction
                 # error.  Keep raising the original shipment error, but
                 # leave an observable trace of the rollback failure.
                 logger.warning(
                     "source %s: rollback after failed shipment into %r "
-                    "also failed: %s", self.name, name, rollback_error)
+                    "also failed", self.name, name)
             raise EvaluationError(
                 f"source {self.name!r}: shipping into {name!r} failed: "
                 f"{error}") from error
         return name
 
     def drop_table(self, name: str) -> None:
-        self.connection.execute(f'DROP TABLE IF EXISTS "{name}"')
-        self.connection.commit()
+        self.backend.execute(self.connection,
+                             f'DROP TABLE IF EXISTS "{name}"')
 
     def table_names(self) -> list[str]:
-        result = self.execute(
-            "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name")
-        return [row[0] for row in result.rows]
+        return self.backend.table_names(self.connection)
 
     def row_count(self, table: str) -> int:
         return self.execute(f'SELECT COUNT(*) FROM "{table}"').rows[0][0]
@@ -678,8 +711,9 @@ class DataSource:
             self._closed = True
             pooled, self._pool = self._pool, []
         for connection in pooled:
-            connection.close()
-        self.connection.close()
+            self.backend.close_connection(connection)
+        self.backend.close_connection(self.connection)
+        self.backend.close()
 
     def __repr__(self) -> str:
         return f"DataSource({self.name!r})"
@@ -714,6 +748,14 @@ class Federation:
     optimized pipeline never uses this; it runs decomposed single-source
     queries at the individual sources, which is what the equality tests
     between the two evaluation paths exercise.
+
+    Sources on attachable backends (the sqlite default) are ATTACHed by
+    URI and stay live; sources on other backends are *materialized* — an
+    in-memory schema is attached under the source's name, its base
+    relations created with their declared types, and the rows copied in
+    through the source's own ``execute``.  A federation is built per use
+    (one conceptual evaluation, one shard partitioning), so the copy
+    cannot go stale within its lifetime.
     """
 
     def __init__(self, sources: list[DataSource]):
@@ -721,8 +763,32 @@ class Federation:
         self.connection = sqlite3.connect(":memory:", isolation_level=None)
         self.connection.execute("PRAGMA read_uncommitted=ON")
         for source in sources:
+            if source.uri is not None and \
+                    source.backend.capabilities.attachable:
+                self.connection.execute(
+                    "ATTACH DATABASE ? AS " + f'"{source.name}"',
+                    (source.uri,))
+            else:
+                self._materialize(source)
+
+    def _materialize(self, source: DataSource) -> None:
+        """Copy a non-attachable source's base relations into the federation."""
+        self.connection.execute(
+            "ATTACH DATABASE ':memory:' AS " + f'"{source.name}"')
+        for relation_schema in source.schema.relations:
+            typed = ", ".join(f'"{column.name}" {column.sqltype}'
+                              for column in relation_schema.columns)
             self.connection.execute(
-                "ATTACH DATABASE ? AS " + f'"{source.name}"', (source.uri,))
+                f'CREATE TABLE "{source.name}"."{relation_schema.name}" '
+                f'({typed})')
+            result = source.execute(
+                f'SELECT * FROM "{relation_schema.name}"')
+            if result.rows:
+                placeholders = ", ".join(
+                    "?" * len(relation_schema.columns))
+                self.connection.executemany(
+                    f'INSERT INTO "{source.name}"."{relation_schema.name}" '
+                    f'VALUES ({placeholders})', result.rows)
 
     def execute(self, sql: str, params: tuple = ()) -> ResultSet:
         try:

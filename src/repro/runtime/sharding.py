@@ -85,7 +85,8 @@ from repro.relational.schema import (
     RelationSchema,
     SourceSchema,
 )
-from repro.relational.source import DataSource, Federation
+from repro.relational.source import (DataSource, Federation,
+                                     iter_result_rows)
 from repro.sqlq.analyze import scalar_params, set_params
 from repro.sqlq.ast import BaseTable, ColumnRef, Query, SelectItem
 from repro.sqlq.render import render_sqlite
@@ -391,6 +392,13 @@ def build_shard_tasks(middleware, root_inh: dict,
     processes.
     """
     shards = middleware.shards if shards is None else shards
+    for source in middleware.sources.values():
+        capabilities = getattr(source, "capabilities", None)
+        if capabilities is not None and not capabilities.blob_affinity:
+            # The shard-chunk relation stores pickled driving rows in
+            # BLOB columns and relies on affinity-free round-tripping;
+            # strictly typed backends cannot host it.
+            return None
     spec = find_partition(middleware.aig)
     if spec is None:
         return None
@@ -405,9 +413,9 @@ def build_shard_tasks(middleware, root_inh: dict,
     for name, source in middleware.sources.items():
         relations = {}
         for relation_schema in source.schema.relations:
-            cursor = source.connection.execute(
+            result = source.execute(
                 f'SELECT * FROM "{relation_schema.name}"')
-            relations[relation_schema.name] = cursor.fetchall()
+            relations[relation_schema.name] = list(iter_result_rows(result))
         dumps[name] = (source.schema, relations)
     # One pickle pass; every task shares the same bytes object.
     source_dump = pickle.dumps(dumps, protocol=pickle.HIGHEST_PROTOCOL)

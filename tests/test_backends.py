@@ -1,0 +1,392 @@
+"""Cross-backend conformance and differential tests (docs/BACKENDS.md).
+
+Every registered backend must present the same relational contract to
+the engine: tuple rows, SQLite NULL ordering, SQLite column-affinity
+storage semantics, honest capability flags, and version counters that
+move only on base-table writes.  On top of the per-backend conformance
+suite, the differential tests assert that the hospital pipeline
+produces byte-identical documents over every backend mix — including
+the ship-to-inline rewrite that no-temp-table backends trigger — and
+that sharding falls back cleanly when a backend lacks BLOB affinity.
+
+Backends whose optional driver (duckdb, pyarrow) is not installed skip
+cleanly; the CI ``optional-backends`` job runs them with drivers
+present.
+"""
+
+import pytest
+
+from repro.errors import EvaluationError, SpecError
+from repro.relational import (
+    Backend,
+    DataSource,
+    SourceSchema,
+    backend_available,
+    create_backend,
+    registered_backends,
+)
+from repro.relational.backends import Sqlite3Backend, sqlite_affinity
+from repro.relational.schema import relation
+
+needs_duckdb = pytest.mark.skipif(not backend_available("duckdb"),
+                                  reason="duckdb not installed")
+needs_pyarrow = pytest.mark.skipif(not backend_available("file:parquet"),
+                                   reason="pyarrow not installed")
+
+#: Every registered backend spec, optional ones marked for clean skips.
+BACKEND_SPECS = [
+    "sqlite",
+    "file",
+    pytest.param("file:parquet", marks=needs_pyarrow),
+    pytest.param("duckdb", marks=needs_duckdb),
+]
+
+TYPED_SCHEMA = SourceSchema("S1", (
+    relation("typed", "t:TEXT", "i:INTEGER", "r:REAL"),
+    relation("plain", "a", "b", key=("a",)),
+))
+
+
+@pytest.fixture
+def typed_source(request):
+    source = DataSource(TYPED_SCHEMA, backend=request.param)
+    yield source
+    source.close()
+
+
+def _parametrize_source(cls):
+    return pytest.mark.parametrize("typed_source", BACKEND_SPECS,
+                                   indirect=True)(cls)
+
+
+# ----------------------------------------------------------------------
+# conformance: identical relational contract on every backend
+# ----------------------------------------------------------------------
+@_parametrize_source
+class TestConformance:
+    def test_execute_returns_tuple_rows_and_columns(self, typed_source):
+        typed_source.load_rows("plain", [("k1", "v1"), ("k2", "v2")])
+        result = typed_source.execute(
+            'SELECT "a", "b" FROM "plain" ORDER BY "a"')
+        assert result.columns == ["a", "b"]
+        assert result.rows == [("k1", "v1"), ("k2", "v2")]
+        assert all(type(row) is tuple for row in result.rows)
+
+    def test_null_ordering_matches_sqlite(self, typed_source):
+        # SQLite sorts NULLs first ascending, last descending; every
+        # backend must agree (DuckDB is pinned via default_null_order).
+        typed_source.load_rows("plain",
+                               [("k1", None), ("k2", "x"), ("k3", None)])
+        ascending = typed_source.execute(
+            'SELECT "b" FROM "plain" ORDER BY "b"')
+        assert ascending.column("b") == [None, None, "x"]
+        descending = typed_source.execute(
+            'SELECT "b" FROM "plain" ORDER BY "b" DESC')
+        assert descending.column("b") == ["x", None, None]
+
+    def test_affinity_matches_sqlite(self, typed_source):
+        # TEXT renders numbers as text, INTEGER parses lossless numeric
+        # text, REAL parses floats — convertible values only, so the
+        # rows are representable on strictly typed engines too.
+        typed_source.load_rows("typed", [(7, "12", "2.5"),
+                                         (2.5, 3.0, 4)])
+        result = typed_source.execute(
+            'SELECT "t", "i", "r" FROM "typed" ORDER BY "i"')
+        assert result.rows == [("2.5", 3, 4.0), ("7", 12, 2.5)]
+
+    def test_version_counter_moves_on_loads_only(self, typed_source):
+        before = typed_source.table_version("plain")
+        typed_source.execute('SELECT * FROM "plain"')
+        assert typed_source.table_version("plain") == before
+        typed_source.load_rows("plain", [("k1", "v1")])
+        assert typed_source.table_version("plain") == before + 1
+        # a shipped temp table is not a base-table write
+        if typed_source.capabilities.supports_temp_tables:
+            typed_source.create_temp_table(["c"], [("x",)], "tmp_probe")
+            assert typed_source.table_version("plain") == before + 1
+
+    def test_capability_flags_are_honest(self, typed_source):
+        capabilities = typed_source.capabilities
+        if capabilities.supports_temp_tables:
+            name = typed_source.create_temp_table(
+                ["c1", "c2"], [("a", 1), ("b", 2)], "tmp_honest")
+            result = typed_source.execute(
+                f'SELECT "c1", "c2" FROM "{name}" ORDER BY "c1"')
+            assert result.rows == [("a", 1), ("b", 2)]
+            typed_source.drop_table(name)
+        else:
+            with pytest.raises(EvaluationError):
+                typed_source.create_temp_table(["c1"], [("a",)],
+                                               "tmp_honest")
+        if capabilities.supports_writes:
+            typed_source.execute(
+                """INSERT INTO "plain" VALUES ('w', 'x')""")
+            assert typed_source.row_count("plain") == 1
+        else:
+            with pytest.raises(EvaluationError, match="read-only"):
+                typed_source.execute(
+                    """INSERT INTO "plain" VALUES ('w', 'x')""")
+
+    def test_table_names_lists_base_relations(self, typed_source):
+        names = typed_source.table_names()
+        assert {"typed", "plain"} <= set(names)
+
+    def test_pooled_connections_share_the_database(self, typed_source):
+        typed_source.load_rows("plain", [("k1", "v1")])
+        leased = typed_source.acquire_connection()
+        try:
+            result = typed_source.execute('SELECT "a" FROM "plain"',
+                                          connection=leased)
+            assert result.rows == [("k1",)]
+        finally:
+            typed_source.release_connection(leased)
+        assert typed_source.pool_size() >= 1
+
+    def test_batched_execute_round_trips(self, typed_source):
+        typed_source.batch_rows = 2
+        typed_source.load_rows(
+            "plain", [(f"k{i}", f"v{i % 3}") for i in range(7)])
+        result = typed_source.execute(
+            'SELECT "a", "b" FROM "plain" ORDER BY "a"')
+        rows = list(result.iter_rows())
+        assert len(rows) == 7
+        assert all(type(row) is tuple for row in rows)
+        assert rows[0] == ("k0", "v0")
+
+
+# ----------------------------------------------------------------------
+# affinity edge cases the strict engines cannot represent
+# ----------------------------------------------------------------------
+class TestAffinityFunction:
+    def test_text_affinity(self):
+        assert sqlite_affinity("TEXT", 7) == "7"
+        assert sqlite_affinity("TEXT", 2.5) == "2.5"
+        assert sqlite_affinity("TEXT", "x") == "x"
+        assert sqlite_affinity("TEXT", None) is None
+
+    def test_integer_affinity(self):
+        assert sqlite_affinity("INTEGER", "12") == 12
+        assert sqlite_affinity("INTEGER", "12.0") == 12
+        assert sqlite_affinity("INTEGER", "1.5") == 1.5
+        assert sqlite_affinity("INTEGER", "abc") == "abc"
+        assert sqlite_affinity("INTEGER", 3.0) == 3
+
+    def test_real_affinity(self):
+        assert sqlite_affinity("REAL", "2.5") == 2.5
+        assert sqlite_affinity("REAL", 4) == 4.0
+        assert sqlite_affinity("REAL", "abc") == "abc"
+
+    def test_blob_affinity_is_identity(self):
+        assert sqlite_affinity("BLOB", b"\x00\xff") == b"\x00\xff"
+        assert sqlite_affinity("BLOB", "kept") == "kept"
+
+    def test_sqlite_keeps_unconvertible_text_in_integer_column(self):
+        source = DataSource(TYPED_SCHEMA)
+        source.load_rows("typed", [("t", "abc", "r")])
+        assert source.execute('SELECT "i" FROM "typed"').rows == [("abc",)]
+        source.close()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_registered_backends(self):
+        assert registered_backends() == ["duckdb", "file", "sqlite"]
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            create_backend("oracle12c", TYPED_SCHEMA)
+        with pytest.raises(SpecError):
+            create_backend("", TYPED_SCHEMA)
+        with pytest.raises(SpecError):
+            create_backend(42, TYPED_SCHEMA)
+
+    def test_backend_available(self):
+        assert backend_available("sqlite")
+        assert backend_available("file")
+        assert backend_available("file:csv")
+        assert not backend_available("oracle12c")
+
+    def test_instance_passes_through(self):
+        backend = Sqlite3Backend(TYPED_SCHEMA)
+        assert create_backend(backend, TYPED_SCHEMA) is backend
+
+    def test_spec_is_recorded(self):
+        source = DataSource(TYPED_SCHEMA, backend="file:csv")
+        assert source.backend.spec == "file:csv"
+        source.close()
+
+    def test_path_and_backend_are_exclusive(self):
+        with pytest.raises(EvaluationError, match="not both"):
+            DataSource(TYPED_SCHEMA, path="/tmp/x.db", backend="sqlite")
+
+
+# ----------------------------------------------------------------------
+# file backend specifics
+# ----------------------------------------------------------------------
+class TestFileBackend:
+    def test_null_and_backslash_round_trip(self):
+        source = DataSource(TYPED_SCHEMA, backend="file")
+        source.load_rows("plain", [("k1", None), ("k2", "\\N"),
+                                   ("k3", "\\literal"), ("k4", "")])
+        result = source.execute(
+            'SELECT "a", "b" FROM "plain" ORDER BY "a"')
+        assert result.rows == [("k1", None), ("k2", "\\N"),
+                               ("k3", "\\literal"), ("k4", "")]
+        source.close()
+
+    def test_files_survive_reload(self, tmp_path):
+        root = str(tmp_path / "tables")
+        source = DataSource(TYPED_SCHEMA, backend=f"file:csv:{root}")
+        source.load_rows("plain", [("k1", "v1")])
+        source.close()
+        again = DataSource(TYPED_SCHEMA, backend=f"file:csv:{root}")
+        assert again.execute('SELECT * FROM "plain"').rows == [("k1", "v1")]
+        again.close()
+
+    def test_temp_root_is_removed_on_close(self):
+        source = DataSource(TYPED_SCHEMA, backend="file")
+        root = source.backend.root
+        source.close()
+        import os
+        assert not os.path.exists(root)
+
+    def test_blob_columns_are_rejected(self):
+        schema = SourceSchema("S1", (relation("b", "c:BLOB"),))
+        with pytest.raises(SpecError, match="BLOB"):
+            DataSource(schema, backend="file")
+
+
+# ----------------------------------------------------------------------
+# backend-agnostic row shapes (regression: drivers returning sequences)
+# ----------------------------------------------------------------------
+class _SequenceCursor:
+    """A DB-API cursor whose rows are lists, not tuples."""
+
+    description = [("a", None), ("b", None)]
+
+    def __init__(self, rows):
+        self._rows = [list(row) for row in rows]
+
+    def fetchall(self):
+        rows, self._rows = self._rows, []
+        return rows
+
+    def fetchmany(self, n):
+        chunk, self._rows = self._rows[:n], self._rows[n:]
+        return chunk
+
+
+class TestSequenceRows:
+    ROWS = [("k1", 1), ("k2", 2), ("k3", 3)]
+
+    def test_base_fetch_rows_normalizes_to_tuples(self):
+        rows = Backend(TYPED_SCHEMA).fetch_rows(_SequenceCursor(self.ROWS))
+        assert rows == list(self.ROWS)
+        assert all(type(row) is tuple for row in rows)
+        # the engine concatenates rows with id tuples — must not break
+        assert rows[0] + (9,) == ("k1", 1, 9)
+
+    def test_batched_result_set_normalizes_to_tuples(self):
+        from repro.relational.source import BatchedResultSet
+
+        batched = BatchedResultSet.from_cursor(
+            ["a", "b"], _SequenceCursor(self.ROWS), batch_rows=2)
+        rows = list(batched.iter_rows())
+        assert rows == list(self.ROWS)
+        assert all(type(row) is tuple for row in rows)
+        with_ids = batched.with_id_column("__id")
+        assert list(with_ids.iter_rows())[0] == ("k1", 1, 1)
+
+
+# ----------------------------------------------------------------------
+# differential: the hospital pipeline over backend mixes
+# ----------------------------------------------------------------------
+HOSPITAL_MIXES = [
+    pytest.param("file", id="all-file"),
+    pytest.param({"DB1": "file", "DB3": "file"}, id="mixed-file-sqlite"),
+    pytest.param("duckdb", id="all-duckdb", marks=needs_duckdb),
+    pytest.param({"DB1": "duckdb", "DB2": "file"}, id="mixed-three-way",
+                 marks=needs_duckdb),
+]
+
+
+def _hospital_run(backend, tracer=None, **kwargs):
+    from repro import Middleware, Network, serialize
+    from repro.datagen import make_loaded_sources
+    from repro.hospital import build_hospital_aig
+
+    aig = build_hospital_aig()
+    sources, dataset = make_loaded_sources("tiny", backend=backend)
+    middleware = Middleware(aig, sources, Network.mbps(1.0),
+                            tracer=tracer, **kwargs)
+    report = middleware.evaluate({"date": dataset.busiest_date()})
+    xml = serialize(report.document, indent=2)
+    for source in sources.values():
+        source.close()
+    return xml, report
+
+
+class TestHospitalDifferential:
+    @pytest.fixture(scope="class")
+    def sqlite_xml(self):
+        return _hospital_run(None)[0]
+
+    @pytest.mark.parametrize("backend", HOSPITAL_MIXES)
+    def test_documents_are_byte_identical(self, backend, sqlite_xml):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        xml, _ = _hospital_run(backend, tracer=tracer)
+        assert xml == sqlite_xml
+        # file/duckdb sources cannot host temp tables: the engine must
+        # have rewritten at least one ship inline
+        assert tracer.metrics.counter("ship_rewrites") > 0
+
+    def test_full_grid_over_file_backend(self, sqlite_xml):
+        from repro.fuzz.oracle import GRID
+        from repro.obs import Tracer
+
+        for kwargs in GRID:
+            tracer = Tracer()
+            xml, _ = _hospital_run("file", tracer=tracer, **kwargs)
+            assert xml == sqlite_xml, f"diverged under {kwargs}"
+            assert tracer.metrics.counter("ship_rewrites") > 0, \
+                f"no inline rewrites under {kwargs}"
+
+    def test_sharding_falls_back_without_blob_affinity(self, sqlite_xml):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        xml, report = _hospital_run("file", tracer=tracer, shards=2)
+        assert xml == sqlite_xml
+        assert report.shards == 1
+        assert tracer.metrics.counter("shard_fallbacks") == 1
+
+    def test_inline_ship_cap_is_enforced(self, monkeypatch):
+        import repro.runtime.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "INLINE_SHIP_ROW_CAP", 0)
+        with pytest.raises(EvaluationError,
+                           match="inline rewrite is capped"):
+            _hospital_run("file")
+
+    def test_conceptual_federation_materializes_file_sources(self):
+        from repro import serialize
+        from repro.aig import ConceptualEvaluator
+        from repro.datagen import make_loaded_sources
+        from repro.hospital import build_hospital_aig
+
+        documents = []
+        for backend in (None, "file"):
+            aig = build_hospital_aig()
+            sources, dataset = make_loaded_sources("tiny", backend=backend)
+            evaluator = ConceptualEvaluator(aig, list(sources.values()),
+                                            violation_mode="report")
+            document = evaluator.evaluate(
+                {"date": dataset.busiest_date()})
+            documents.append(serialize(document, indent=2))
+            for source in sources.values():
+                source.close()
+        assert documents[0] == documents[1]
